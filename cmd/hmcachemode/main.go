@@ -1,0 +1,32 @@
+// Command hmcachemode compares flat-mode runtime-managed prefetching
+// against KNL's hardware cache mode (the comparison the paper defers
+// to future work; experiment X1).
+//
+// Usage:
+//
+//	hmcachemode [-scale full|small]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"github.com/hetmem/hetmem/internal/exp"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("hmcachemode: ")
+	scaleName := flag.String("scale", "full", "experiment scale: full or small")
+	flag.Parse()
+	scale := exp.Full
+	if *scaleName == "small" {
+		scale = exp.Small
+	}
+	r, err := exp.RunCacheMode(scale)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(r.Table())
+}

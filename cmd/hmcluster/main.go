@@ -1,0 +1,76 @@
+// Command hmcluster runs the distributed Stencil3D across a simulated
+// multi-node cluster (extension X8): per-node working sets with halo
+// exchange over a contended fabric.
+//
+// Usage:
+//
+//	hmcluster [-nodes 4] [-mode multi] [-scale full|small]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"github.com/hetmem/hetmem/internal/cluster"
+	"github.com/hetmem/hetmem/internal/core"
+	"github.com/hetmem/hetmem/internal/exp"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("hmcluster: ")
+	nodes := flag.Int("nodes", 4, "cluster size")
+	modeName := flag.String("mode", "multi", "strategy: naive, single, no, multi")
+	scaleName := flag.String("scale", "full", "experiment scale: full or small")
+	sweep := flag.Bool("sweep", false, "run the full X8 weak-scaling sweep instead of one configuration")
+	flag.Parse()
+
+	scale := exp.Full
+	if *scaleName == "small" {
+		scale = exp.Small
+	}
+	if *sweep {
+		r, err := exp.RunCluster(scale)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(r.Table())
+		return
+	}
+
+	var mode core.Mode
+	switch *modeName {
+	case "naive":
+		mode = core.Baseline
+	case "single":
+		mode = core.SingleIO
+	case "no":
+		mode = core.NoIO
+	case "multi":
+		mode = core.MultiIO
+	default:
+		log.Fatalf("unknown mode %q", *modeName)
+	}
+	perNode := scale.StencilConfig(scale.StencilReducedSizes()[1])
+	opts := core.DefaultOptions(mode)
+	opts.HBMReserve = scale.HBMReserve()
+	c, err := cluster.New(cluster.Config{
+		Nodes:  *nodes,
+		Spec:   scale.Machine(),
+		NumPEs: scale.NumPEs(),
+		Opts:   opts,
+		Net:    cluster.DefaultNetwork(),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Close()
+	res, err := cluster.RunStencil(c, cluster.StencilConfig{PerNode: perNode, Nodes: *nodes})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("distributed Stencil3D, %d nodes x %d PEs, %s\n", *nodes, scale.NumPEs(), mode)
+	fmt.Printf("  total %8.3f s   avg iteration %.3f s\n", res.Total, res.AvgIter)
+	fmt.Printf("  halo traffic %.2f GB in %d messages\n", res.NetBytes/float64(1<<30), res.NetMessages)
+}

@@ -1,0 +1,85 @@
+// Command hmmatmul runs the blocked matrix multiplication benchmark
+// under a chosen strategy, or the full Fig. 9 sweep.
+//
+// Usage:
+//
+//	hmmatmul -fig 9 [-scale full|small]       # strategy sweep (Fig 9)
+//	hmmatmul -mode single -total 54           # one run, size in GB
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"github.com/hetmem/hetmem/internal/core"
+	"github.com/hetmem/hetmem/internal/exp"
+	"github.com/hetmem/hetmem/internal/kernels"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("hmmatmul: ")
+	fig := flag.Int("fig", 0, "reproduce figure 9 (0 = single run)")
+	scaleName := flag.String("scale", "full", "experiment scale: full or small")
+	modeName := flag.String("mode", "multi", "strategy: ddr, naive, single, no, multi")
+	total := flag.Int64("total", 24, "total working set in GB (A+B+C)")
+	grid := flag.Int("grid", 16, "block grid side G")
+	flag.Parse()
+
+	scale := exp.Full
+	if *scaleName == "small" {
+		scale = exp.Small
+	}
+	if *fig == 9 {
+		r, err := exp.RunFig9(scale)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(r.Table())
+		return
+	}
+	mode, err := parseMode(*modeName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := kernels.DefaultMatMulConfig()
+	cfg.TotalBytes = *total << 30
+	cfg.Grid = *grid
+	env := kernels.NewEnv(kernels.EnvConfig{
+		Spec:   exp.Full.Machine(),
+		NumPEs: cfg.NumPEs,
+		Opts:   core.DefaultOptions(mode),
+	})
+	defer env.Close()
+	app, err := kernels.NewMatMul(env.MG, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	t, err := app.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := env.MG.Stats
+	fmt.Printf("MatMul %s: %d GB total, %dx%d blocks, N=%.0f\n", mode, *total, *grid, *grid, cfg.N())
+	fmt.Printf("  total time %8.3f s\n", t)
+	fmt.Printf("  fetches    %8d (%.1f GB)\n", st.Fetches, st.BytesFetched/float64(1<<30))
+	fmt.Printf("  evictions  %8d (%.1f GB)\n", st.Evictions, st.BytesEvicted/float64(1<<30))
+}
+
+func parseMode(name string) (core.Mode, error) {
+	switch name {
+	case "ddr":
+		return core.DDROnly, nil
+	case "naive":
+		return core.Baseline, nil
+	case "single":
+		return core.SingleIO, nil
+	case "no":
+		return core.NoIO, nil
+	case "multi":
+		return core.MultiIO, nil
+	default:
+		return 0, fmt.Errorf("unknown mode %q", name)
+	}
+}

@@ -1,0 +1,31 @@
+// Command hmmemcpy measures the cost of the data-migration memcpy
+// between the memory nodes under many-thread contention (Fig. 7).
+//
+// Usage:
+//
+//	hmmemcpy [-scale full|small]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"github.com/hetmem/hetmem/internal/exp"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("hmmemcpy: ")
+	scaleName := flag.String("scale", "full", "experiment scale: full or small")
+	flag.Parse()
+	scale := exp.Full
+	if *scaleName == "small" {
+		scale = exp.Small
+	}
+	r, err := exp.RunFig7(scale)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(r.Table())
+}

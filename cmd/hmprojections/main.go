@@ -1,0 +1,64 @@
+// Command hmprojections reproduces the paper's Projections analysis
+// (Figs. 5 and 6): per-strategy utilization/overhead breakdowns plus
+// ASCII activity timelines, with optional JSON span export.
+//
+// Usage:
+//
+//	hmprojections [-scale full|small] [-timelines] [-json dir]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"github.com/hetmem/hetmem/internal/core"
+	"github.com/hetmem/hetmem/internal/exp"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("hmprojections: ")
+	scaleName := flag.String("scale", "small", "experiment scale: full or small (timelines are readable at small)")
+	timelines := flag.Bool("timelines", true, "print ASCII activity timelines")
+	jsonDir := flag.String("json", "", "directory to write per-strategy span logs (Projections JSON export)")
+	flag.Parse()
+
+	scale := exp.Full
+	if *scaleName == "small" {
+		scale = exp.Small
+	}
+	r, err := exp.RunFig56(scale)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(r.Table())
+	if *timelines {
+		for _, mode := range []core.Mode{core.Baseline, core.SingleIO, core.NoIO, core.MultiIO} {
+			fmt.Printf("--- %s ---\n%s\n", mode, r.Runs[mode].Timeline)
+		}
+	}
+	if *jsonDir != "" {
+		if err := os.MkdirAll(*jsonDir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+		for _, mode := range []core.Mode{core.Baseline, core.SingleIO, core.NoIO, core.MultiIO} {
+			name := strings.ReplaceAll(strings.ToLower(mode.String()), " ", "-") + ".json"
+			path := filepath.Join(*jsonDir, name)
+			f, err := os.Create(path)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := r.Runs[mode].WriteSpans(f); err != nil {
+				log.Fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("wrote %s\n", path)
+		}
+	}
+}

@@ -1,0 +1,89 @@
+// Command hmrepro regenerates every table and figure of the paper's
+// evaluation (Figs. 1, 2, 5-6, 7, 8, 9) plus the extension experiments
+// (X1-X4), printing one text table per figure.
+//
+// Usage:
+//
+//	hmrepro [-scale full|small] [-skip-ext]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"github.com/hetmem/hetmem/internal/exp"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("hmrepro: ")
+	scaleName := flag.String("scale", "full", "experiment scale: full (paper sizes) or small (1/8 slice)")
+	skipExt := flag.Bool("skip-ext", false, "skip the extension experiments X1-X4")
+	flag.Parse()
+
+	scale, err := parseScale(*scaleName)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	type figure struct {
+		name string
+		run  func() (fmt.Stringer, error)
+	}
+	figures := []figure{
+		{"Fig 1", func() (fmt.Stringer, error) { return tbl(exp.RunFig1(scale)) }},
+		{"Fig 2", func() (fmt.Stringer, error) { return tbl(exp.RunFig2(scale)) }},
+		{"Figs 5-6", func() (fmt.Stringer, error) { return tbl(exp.RunFig56(scale)) }},
+		{"Fig 7", func() (fmt.Stringer, error) { return tbl(exp.RunFig7(scale)) }},
+		{"Fig 8", func() (fmt.Stringer, error) { return tbl(exp.RunFig8(scale)) }},
+		{"Fig 9", func() (fmt.Stringer, error) { return tbl(exp.RunFig9(scale)) }},
+	}
+	if !*skipExt {
+		figures = append(figures,
+			figure{"X1", func() (fmt.Stringer, error) { return tbl(exp.RunCacheMode(scale)) }},
+			figure{"X2", func() (fmt.Stringer, error) { return tbl(exp.RunAblationQueues(scale)) }},
+			figure{"X3", func() (fmt.Stringer, error) { return tbl(exp.RunAblationIOThreads(scale)) }},
+			figure{"X4", func() (fmt.Stringer, error) { return tbl(exp.RunAblationEviction(scale)) }},
+			figure{"X5", func() (fmt.Stringer, error) { return tbl(exp.RunNVM(scale)) }},
+			figure{"X6", func() (fmt.Stringer, error) { return tbl(exp.RunAblationPrefetchDepth(scale)) }},
+			figure{"X7", func() (fmt.Stringer, error) { return tbl(exp.RunLoadBalance(scale)) }},
+			figure{"X8", func() (fmt.Stringer, error) { return tbl(exp.RunCluster(scale)) }},
+		)
+	}
+
+	fmt.Printf("hetmem reproduction — %s scale\n\n", scale)
+	for _, f := range figures {
+		start := time.Now()
+		t, err := f.run()
+		if err != nil {
+			log.Fatalf("%s: %v", f.name, err)
+		}
+		fmt.Println(t)
+		fmt.Fprintf(os.Stderr, "[%s done in %v]\n", f.name, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+// tabler is any experiment result with a Table.
+type tabler interface{ Table() exp.Table }
+
+// tbl adapts (result, err) pairs to (Stringer, error).
+func tbl[T tabler](r T, err error) (fmt.Stringer, error) {
+	if err != nil {
+		return nil, err
+	}
+	return r.Table(), nil
+}
+
+func parseScale(name string) (exp.Scale, error) {
+	switch name {
+	case "full":
+		return exp.Full, nil
+	case "small":
+		return exp.Small, nil
+	default:
+		return 0, fmt.Errorf("unknown scale %q (want full or small)", name)
+	}
+}

@@ -1,0 +1,100 @@
+// Command hmstencil runs the Stencil3D benchmark under a chosen
+// strategy, or the full Fig. 2 / Fig. 8 sweeps.
+//
+// Usage:
+//
+//	hmstencil -fig 8 [-scale full|small]     # strategy sweep (Fig 8)
+//	hmstencil -fig 2                          # HBM vs DDR4 (Fig 2)
+//	hmstencil -mode multi -reduced 4 -total 32  # one run, sizes in GB
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"github.com/hetmem/hetmem/internal/core"
+	"github.com/hetmem/hetmem/internal/exp"
+	"github.com/hetmem/hetmem/internal/kernels"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("hmstencil: ")
+	fig := flag.Int("fig", 0, "reproduce a figure: 2 or 8 (0 = single run)")
+	scaleName := flag.String("scale", "full", "experiment scale: full or small")
+	modeName := flag.String("mode", "multi", "strategy: ddr, naive, single, no, multi")
+	reduced := flag.Int64("reduced", 4, "reduced working set in GB")
+	total := flag.Int64("total", 32, "total working set in GB")
+	iters := flag.Int("iters", 4, "outer iterations")
+	flag.Parse()
+
+	scale := exp.Full
+	if *scaleName == "small" {
+		scale = exp.Small
+	}
+	switch *fig {
+	case 2:
+		r, err := exp.RunFig2(scale)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(r.Table())
+	case 8:
+		r, err := exp.RunFig8(scale)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(r.Table())
+	case 0:
+		mode, err := parseMode(*modeName)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg := kernels.DefaultStencilConfig()
+		cfg.ReducedBytes = *reduced << 30
+		cfg.TotalBytes = *total << 30
+		cfg.Iterations = *iters
+		env := kernels.NewEnv(kernels.EnvConfig{
+			Spec:   exp.Full.Machine(),
+			NumPEs: cfg.NumPEs,
+			Opts:   core.DefaultOptions(mode),
+		})
+		defer env.Close()
+		app, err := kernels.NewStencil(env.MG, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		t, err := app.Run()
+		if err != nil {
+			log.Fatal(err)
+		}
+		st := env.MG.Stats
+		fmt.Printf("Stencil3D %s: total %s, reduced %s, %d chares, %d iterations\n",
+			mode, gb(cfg.TotalBytes), gb(cfg.ReducedBytes), cfg.NumChares(), cfg.Iterations)
+		fmt.Printf("  total time    %8.3f s (avg iteration %.3f s)\n", t, app.AvgIterTime())
+		fmt.Printf("  fetches       %8d (%.1f GB)\n", st.Fetches, st.BytesFetched/float64(1<<30))
+		fmt.Printf("  evictions     %8d (%.1f GB)\n", st.Evictions, st.BytesEvicted/float64(1<<30))
+	default:
+		log.Fatalf("unknown figure %d (want 2 or 8)", *fig)
+	}
+}
+
+func parseMode(name string) (core.Mode, error) {
+	switch name {
+	case "ddr":
+		return core.DDROnly, nil
+	case "naive":
+		return core.Baseline, nil
+	case "single":
+		return core.SingleIO, nil
+	case "no":
+		return core.NoIO, nil
+	case "multi":
+		return core.MultiIO, nil
+	default:
+		return 0, fmt.Errorf("unknown mode %q", name)
+	}
+}
+
+func gb(b int64) string { return fmt.Sprintf("%.3g GB", float64(b)/float64(1<<30)) }

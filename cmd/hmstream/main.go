@@ -1,0 +1,41 @@
+// Command hmstream runs the STREAM bandwidth benchmark on the
+// simulated machine's memory nodes (Fig. 1 of the paper).
+//
+// Usage:
+//
+//	hmstream [-threads 64] [-array 256MiB-in-bytes] [-quadrant]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"github.com/hetmem/hetmem/internal/stream"
+	"github.com/hetmem/hetmem/internal/topology"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("hmstream: ")
+	threads := flag.Int("threads", 64, "concurrent STREAM threads")
+	arrayBytes := flag.Int64("array", 256<<20, "per-thread STREAM array size in bytes")
+	quadrant := flag.Bool("quadrant", false, "use quadrant cluster mode instead of all-to-all")
+	flag.Parse()
+
+	spec := topology.KNL7250()
+	if *quadrant {
+		spec.ClusterMode = topology.Quadrant
+	}
+	fmt.Printf("%s, %s cluster mode, %d threads\n\n", spec.Name, spec.ClusterMode, *threads)
+	for _, node := range []int{topology.DDRNodeID, topology.HBMNodeID} {
+		results, err := stream.Measure(spec, node, *threads, *arrayBytes)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, r := range results {
+			fmt.Println(r)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,3 @@
+module github.com/hetmem/hetmem
+
+go 1.22

@@ -1,0 +1,226 @@
+// Package hetmem is a memory-heterogeneity-aware runtime system for
+// bandwidth-sensitive HPC applications, reproducing Chandrasekar, Ni
+// and Kale, "A Memory Heterogeneity-Aware Runtime System for
+// Bandwidth-Sensitive HPC Applications" (IPDPSW 2017).
+//
+// The library bundles:
+//
+//   - a deterministic discrete-event simulation of a many-core node
+//     with heterogeneous memory (MCDRAM/HBM + DDR4, the KNL the paper
+//     evaluates on), including max-min fair bandwidth sharing, a
+//     libnuma-like allocation API and machine presets;
+//   - a Charm++-like over-decomposed task runtime (chare arrays,
+//     [prefetch] entry methods with declared data dependences, per-PE
+//     converse schedulers, reductions, nodegroups);
+//   - the paper's contribution: an out-of-core data-block manager with
+//     INHBM/INDDR block states, reference counts, per-PE wait/run
+//     queues, and three prefetch/eviction strategies (single IO
+//     thread, synchronous worker-driven, one async IO thread per PE);
+//   - the paper's two evaluation applications (Stencil3D and blocked
+//     matrix multiplication) and drivers that regenerate every figure
+//     of the evaluation (Figs. 1, 2, 5, 6, 7, 8, 9) plus extensions.
+//
+// # Quick start
+//
+//	eng := hetmem.NewEngine(1)
+//	mach := hetmem.KNL7250().MustBuild(eng)
+//	rt := hetmem.NewRuntime(mach, 64, hetmem.DefaultParams(), nil)
+//	mgr := hetmem.NewManager(rt, hetmem.DefaultOptions(hetmem.MultiIO))
+//	// declare blocks with mgr.NewHandle, register [prefetch] entries
+//	// with Deps, send messages, then eng.RunAll().
+//
+// See examples/ for complete programs and internal/exp for the
+// experiment harness.
+package hetmem
+
+import (
+	"github.com/hetmem/hetmem/internal/charm"
+	"github.com/hetmem/hetmem/internal/core"
+	"github.com/hetmem/hetmem/internal/kernels"
+	"github.com/hetmem/hetmem/internal/memsim"
+	"github.com/hetmem/hetmem/internal/numa"
+	"github.com/hetmem/hetmem/internal/projections"
+	"github.com/hetmem/hetmem/internal/sim"
+	"github.com/hetmem/hetmem/internal/topology"
+)
+
+// --- simulation engine ---
+
+type (
+	// Engine is the deterministic discrete-event simulation engine.
+	Engine = sim.Engine
+	// Proc is a simulation process (virtual-time coroutine).
+	Proc = sim.Proc
+	// Time is virtual time in seconds.
+	Time = sim.Time
+)
+
+// NewEngine returns an engine with the given deterministic seed.
+func NewEngine(seed int64) *Engine { return sim.NewEngine(seed) }
+
+// --- machine model ---
+
+type (
+	// MachineSpec describes a many-core node with heterogeneous
+	// memory.
+	MachineSpec = topology.MachineSpec
+	// Machine is an instantiated MachineSpec.
+	Machine = topology.Machine
+	// MemoryMode is the KNL MCDRAM configuration (flat/cache/hybrid).
+	MemoryMode = topology.MemoryMode
+	// ClusterMode is the KNL mesh affinity mode.
+	ClusterMode = topology.ClusterMode
+	// MemNode is one memory node (capacity + bandwidth).
+	MemNode = memsim.Node
+	// Allocator is the libnuma-like allocation API.
+	Allocator = numa.Allocator
+	// Buffer is an allocated region.
+	Buffer = numa.Buffer
+)
+
+// Memory and cluster modes.
+const (
+	Flat     = topology.Flat
+	CacheMod = topology.Cache
+	Hybrid   = topology.Hybrid
+
+	AllToAll = topology.AllToAll
+	Quadrant = topology.Quadrant
+	SNC4     = topology.SNC4
+)
+
+// Node ids in the paper's flat-mode convention.
+const (
+	DDRNodeID = topology.DDRNodeID
+	HBMNodeID = topology.HBMNodeID
+)
+
+// GB is one gibibyte in bytes.
+const GB = topology.GB
+
+// KNL7250 returns the machine used in the paper's evaluation: an Intel
+// Xeon Phi Knights Landing node in Flat / All-to-All mode.
+func KNL7250() MachineSpec { return topology.KNL7250() }
+
+// --- Charm-like runtime ---
+
+type (
+	// Chare is an application object; any type can be a chare.
+	Chare = charm.Chare
+	// Runtime is the node-level task runtime.
+	Runtime = charm.Runtime
+	// Params are runtime cost knobs.
+	Params = charm.Params
+	// ChareArray is an over-decomposed chare array.
+	ChareArray = charm.Array
+	// Element is one chare of an array.
+	Element = charm.Element
+	// Entry describes an entry method ([prefetch] attribute, declared
+	// dependences).
+	Entry = charm.Entry
+	// Message is an entry-method payload.
+	Message = charm.Message
+	// PE is a processing element.
+	PE = charm.PE
+	// Reduction is a counting barrier with a completion callback.
+	Reduction = charm.Reduction
+	// DataDep pairs a data handle with its declared access mode.
+	DataDep = charm.DataDep
+	// AccessMode is readonly / readwrite / writeonly.
+	AccessMode = charm.AccessMode
+	// Tracer records per-PE activity (the Projections analogue).
+	Tracer = projections.Tracer
+)
+
+// Access modes, as in the .ci dependence annotations.
+const (
+	ReadOnly  = charm.ReadOnly
+	ReadWrite = charm.ReadWrite
+	WriteOnly = charm.WriteOnly
+)
+
+// NewRuntime builds a runtime with numPEs workers on machine m.
+func NewRuntime(m *Machine, numPEs int, params Params, tracer *Tracer) *Runtime {
+	return charm.NewRuntime(m, numPEs, params, tracer)
+}
+
+// DefaultParams returns representative scheduler cost knobs.
+func DefaultParams() Params { return charm.DefaultParams() }
+
+// NewTracer returns a Projections-style activity tracer.
+func NewTracer(e *Engine, lanes int) *Tracer { return projections.NewTracer(e, lanes) }
+
+// --- OOC manager (the paper's contribution) ---
+
+type (
+	// Manager is the memory-heterogeneity-aware prefetch/evict layer.
+	Manager = core.Manager
+	// Options configure a Manager.
+	Options = core.Options
+	// Mode selects the placement/movement configuration.
+	Mode = core.Mode
+	// Handle is a managed data block (the paper's CkIOHandle).
+	Handle = core.Handle
+	// BlockState is INDDR/INHBM plus the transitional states.
+	BlockState = core.BlockState
+	// KernelSpec describes a bandwidth-sensitive kernel's demand.
+	KernelSpec = core.KernelSpec
+)
+
+// Placement/movement modes, matching the evaluation's bars.
+const (
+	DDROnly  = core.DDROnly
+	Baseline = core.Baseline
+	SingleIO = core.SingleIO
+	NoIO     = core.NoIO
+	MultiIO  = core.MultiIO
+)
+
+// Block states.
+const (
+	InDDR = core.InDDR
+	InHBM = core.InHBM
+)
+
+// NewManager builds the OOC manager and installs it as the runtime's
+// interceptor when the mode moves data.
+func NewManager(rt *Runtime, opts Options) *Manager { return core.NewManager(rt, opts) }
+
+// DefaultOptions returns the paper-faithful configuration for a mode.
+func DefaultOptions(mode Mode) Options { return core.DefaultOptions(mode) }
+
+// --- evaluation applications ---
+
+type (
+	// StencilConfig sizes a Stencil3D benchmark run.
+	StencilConfig = kernels.StencilConfig
+	// StencilApp is an instantiated Stencil3D benchmark.
+	StencilApp = kernels.StencilApp
+	// MatMulConfig sizes a blocked matrix multiplication.
+	MatMulConfig = kernels.MatMulConfig
+	// MatMulApp is an instantiated MatMul benchmark.
+	MatMulApp = kernels.MatMulApp
+	// Env bundles engine + machine + runtime + manager for one run.
+	Env = kernels.Env
+	// EnvConfig parameterises NewEnv.
+	EnvConfig = kernels.EnvConfig
+)
+
+// NewEnv builds a ready simulation environment.
+func NewEnv(cfg EnvConfig) *Env { return kernels.NewEnv(cfg) }
+
+// DefaultStencilConfig returns the paper's Stencil3D setup.
+func DefaultStencilConfig() StencilConfig { return kernels.DefaultStencilConfig() }
+
+// NewStencil builds the Stencil3D application on a manager.
+func NewStencil(mg *Manager, cfg StencilConfig) (*StencilApp, error) {
+	return kernels.NewStencil(mg, cfg)
+}
+
+// DefaultMatMulConfig returns the paper's MatMul setup.
+func DefaultMatMulConfig() MatMulConfig { return kernels.DefaultMatMulConfig() }
+
+// NewMatMul builds the MatMul application on a manager.
+func NewMatMul(mg *Manager, cfg MatMulConfig) (*MatMulApp, error) {
+	return kernels.NewMatMul(mg, cfg)
+}

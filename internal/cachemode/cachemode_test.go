@@ -1,0 +1,114 @@
+package cachemode
+
+import (
+	"testing"
+
+	"github.com/hetmem/hetmem/internal/topology"
+)
+
+func TestValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Config{
+		{CacheBytes: 0},
+		{CacheBytes: 1, ConflictAlpha: -0.1},
+		{CacheBytes: 1, ConflictAlpha: 1.0},
+		{CacheBytes: 1, ReuseBeta: 1.5},
+		{CacheBytes: 1, MissFillFactor: -1},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestHitRateRegimes(t *testing.T) {
+	c := DefaultConfig()
+	if h := c.HitRate(0); h != 1 {
+		t.Fatalf("empty working set hit rate %v", h)
+	}
+	// Small working set: high hit rate but not perfect (conflicts).
+	small := c.HitRate(4 * topology.GB)
+	if small >= 1 || small < 0.95 {
+		t.Fatalf("4GB hit rate %v, want high but < 1", small)
+	}
+	// Just fitting: 1 - alpha.
+	fit := c.HitRate(16 * topology.GB)
+	if fit < 0.91 || fit > 0.93 {
+		t.Fatalf("16GB hit rate %v, want 0.92", fit)
+	}
+	// 2x over capacity: beta/2.
+	over := c.HitRate(32 * topology.GB)
+	if over < 0.39 || over > 0.41 {
+		t.Fatalf("32GB hit rate %v, want 0.40", over)
+	}
+	// Monotone decrease.
+	prev := 1.1
+	for _, w := range []int64{1, 8, 15, 16, 17, 32, 64, 96} {
+		h := c.HitRate(w * topology.GB)
+		if h > prev {
+			t.Fatalf("hit rate not monotone at %dGB: %v > %v", w, h, prev)
+		}
+		prev = h
+	}
+}
+
+func TestEffectiveBandwidthCliff(t *testing.T) {
+	c := DefaultConfig()
+	spec := topology.KNL7250()
+	fits := c.EffectiveBandwidth(spec, 8*topology.GB)
+	over := c.EffectiveBandwidth(spec, 32*topology.GB)
+	way := c.EffectiveBandwidth(spec, 96*topology.GB)
+	if fits <= over || over <= way {
+		t.Fatalf("bandwidth not decreasing: %v, %v, %v", fits, over, way)
+	}
+	// Fitting working set: near MCDRAM speed (>300 GB/s effective).
+	if fits < 300*topology.GBf {
+		t.Fatalf("fitting working set only %v GB/s", fits/topology.GBf)
+	}
+	// Far over capacity: approaching DDR-limited behaviour; misses pay
+	// the DDR bus, so effective bandwidth is within ~2x of DDR.
+	ddr := spec.DDRTotalBW * 0.93
+	if way > 1.6*ddr {
+		t.Fatalf("96GB working set bandwidth %v GB/s, want near DDR %v", way/topology.GBf, ddr/topology.GBf)
+	}
+}
+
+func TestCacheModeVsFlatModeTradeoff(t *testing.T) {
+	// The shape the paper predicts: when the working set fits, cache
+	// mode is close to flat-mode HBM; when it does not, cache mode
+	// collapses much further than 1 - overflow fraction.
+	c := DefaultConfig()
+	spec := topology.KNL7250()
+	hbmBW := spec.HBMTotalBW * 0.93
+	fits := c.EffectiveBandwidth(spec, 12*topology.GB)
+	if fits < 0.7*hbmBW {
+		t.Fatalf("fitting cache-mode bandwidth %.0f GB/s too far below flat HBM %.0f",
+			fits/topology.GBf, hbmBW/topology.GBf)
+	}
+	over := c.EffectiveBandwidth(spec, 32*topology.GB)
+	if over > 0.5*hbmBW {
+		t.Fatalf("2x-oversubscribed cache mode at %.0f GB/s suspiciously close to flat HBM", over/topology.GBf)
+	}
+}
+
+func TestStreamTime(t *testing.T) {
+	c := DefaultConfig()
+	spec := topology.KNL7250()
+	bw := c.EffectiveBandwidth(spec, 8*topology.GB)
+	if got := c.StreamTime(spec, 8*topology.GB, bw); got < 0.999 || got > 1.001 {
+		t.Fatalf("StreamTime inverse of bandwidth broken: %v", got)
+	}
+}
+
+func TestClusterModeAffectsBandwidth(t *testing.T) {
+	c := DefaultConfig()
+	a2a := topology.KNL7250()
+	quad := a2a
+	quad.ClusterMode = topology.Quadrant
+	if c.EffectiveBandwidth(a2a, 8*topology.GB) >= c.EffectiveBandwidth(quad, 8*topology.GB) {
+		t.Fatal("all-to-all should be slower than quadrant")
+	}
+}

@@ -1,0 +1,54 @@
+package cachemode
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/hetmem/hetmem/internal/topology"
+)
+
+// TestQuickHitRateBounds: for any working set, the hit rate is in
+// [0,1], and it never increases when the working set grows.
+func TestQuickHitRateBounds(t *testing.T) {
+	c := DefaultConfig()
+	check := func(rawA, rawB uint32) bool {
+		a := int64(rawA)%(128<<10) + 1 // up to ~128K "MB units"
+		b := int64(rawB)%(128<<10) + 1
+		wA := a * (1 << 20)
+		wB := b * (1 << 20)
+		hA, hB := c.HitRate(wA), c.HitRate(wB)
+		if hA < 0 || hA > 1 || hB < 0 || hB > 1 {
+			return false
+		}
+		if wA <= wB {
+			return hA >= hB
+		}
+		return hB >= hA
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickEffectiveBandwidthBounds: effective cache-mode bandwidth is
+// positive, never exceeds the MCDRAM bus, and never drops below what
+// an all-miss stream through the DDR bus would achieve.
+func TestQuickEffectiveBandwidthBounds(t *testing.T) {
+	c := DefaultConfig()
+	spec := topology.KNL7250()
+	f := 0.93 // all-to-all factor
+	hbm := spec.HBMTotalBW * f
+	ddr := spec.DDRTotalBW * f
+	check := func(raw uint32) bool {
+		w := (int64(raw)%(256<<10) + 1) * (1 << 20)
+		bw := c.EffectiveBandwidth(spec, w)
+		if bw <= 0 || bw > hbm*(1+1e-9) {
+			return false
+		}
+		// All-miss floor: every byte at least crosses the DDR bus.
+		return bw >= ddr*(1-1e-9)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

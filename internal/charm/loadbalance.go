@@ -1,0 +1,103 @@
+package charm
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/hetmem/hetmem/internal/sim"
+)
+
+// Chare migration and measurement-based load balancing. The paper's
+// background section motivates over-decomposition with exactly this:
+// "Over-decomposition with migratability allows for load balancing of
+// chares. ... Objects do not migrate at anytime, they migrate only
+// when load balancing explicitly moves them to a different PE."
+//
+// Migration here follows the Charm++ discipline: it happens at
+// application-chosen synchronisation points (typically a reduction at
+// an iteration boundary), when the element has no entry method
+// executing. Messages sent after the migration route to the new PE;
+// messages already enqueued on the old PE still execute there once
+// (delivery forwarding).
+
+// MigrateTo moves the element to the given PE for all future message
+// deliveries.
+func (el *Element) MigrateTo(pe int) {
+	rt := el.arr.rt
+	if pe < 0 || pe >= rt.NumPEs() {
+		panic(fmt.Sprintf("charm: migrate of %s[%d] to invalid PE %d", el.arr.name, el.Index, pe))
+	}
+	if pe != el.PE {
+		rt.Stats.Migrations++
+	}
+	el.PE = pe
+}
+
+// Load returns the accumulated entry-method execution time of the
+// element since the last TakeLoad.
+func (el *Element) Load() sim.Time { return el.load }
+
+// TakeLoad returns the accumulated load and resets the accumulator
+// (called by load balancers at each balancing step).
+func (el *Element) TakeLoad() sim.Time {
+	l := el.load
+	el.load = 0
+	return l
+}
+
+// GreedyRebalance reassigns the array's elements to PEs with the
+// classic longest-processing-time-first heuristic, using each
+// element's measured load since the last call. It returns the number
+// of elements that changed PE. Call it from a quiescent point (e.g. a
+// reduction callback) so no entry method is mid-flight.
+func GreedyRebalance(arr *Array, numPEs int) int {
+	type item struct {
+		el   *Element
+		load sim.Time
+	}
+	items := make([]item, 0, arr.Len())
+	for _, el := range arr.elems {
+		items = append(items, item{el: el, load: el.TakeLoad()})
+	}
+	// LPT: heaviest first, each onto the currently least-loaded PE.
+	sort.SliceStable(items, func(i, j int) bool { return items[i].load > items[j].load })
+	peLoad := make([]sim.Time, numPEs)
+	moved := 0
+	for _, it := range items {
+		best := 0
+		for pe := 1; pe < numPEs; pe++ {
+			if peLoad[pe] < peLoad[best] {
+				best = pe
+			}
+		}
+		peLoad[best] += it.load
+		if it.el.PE != best {
+			moved++
+		}
+		it.el.MigrateTo(best)
+	}
+	return moved
+}
+
+// MaxLoadImbalance returns max/mean of the per-PE load implied by the
+// elements' current placement and accumulated loads — 1.0 is perfectly
+// balanced. Diagnostic for tests and the X7 experiment.
+func MaxLoadImbalance(arr *Array, numPEs int) float64 {
+	peLoad := make([]sim.Time, numPEs)
+	var total sim.Time
+	for _, el := range arr.elems {
+		peLoad[el.PE] += el.load
+		total += el.load
+	}
+	if total == 0 {
+		return 1
+	}
+	mean := total / sim.Time(numPEs)
+	max := peLoad[0]
+	for _, l := range peLoad[1:] {
+		if l > max {
+			max = l
+		}
+	}
+	return float64(max / mean)
+}

@@ -1,0 +1,123 @@
+package charm
+
+import (
+	"testing"
+
+	"github.com/hetmem/hetmem/internal/sim"
+)
+
+func TestMigrateToRoutesFutureMessages(t *testing.T) {
+	e, rt := testRT(t, 2)
+	arr := rt.NewArray("c", 1, func(i int) Chare { return nil }, nil)
+	var ranOn []int
+	work := arr.Register(Entry{
+		Name: "w",
+		Fn:   func(p *sim.Proc, pe *PE, el *Element, msg *Message) { ranOn = append(ranOn, pe.ID()) },
+	})
+	rt.Main(func(p *sim.Proc) {
+		arr.Send(-1, 0, work, nil)
+		p.Sleep(0.1)
+		arr.Elem(0).MigrateTo(1)
+		arr.Send(-1, 0, work, nil)
+	})
+	e.RunAll()
+	if len(ranOn) != 2 || ranOn[0] != 0 || ranOn[1] != 1 {
+		t.Fatalf("executions on PEs %v, want [0 1]", ranOn)
+	}
+	if rt.Stats.Migrations != 1 {
+		t.Fatalf("migrations = %d, want 1", rt.Stats.Migrations)
+	}
+}
+
+func TestMigrateToInvalidPEPanics(t *testing.T) {
+	_, rt := testRT(t, 2)
+	arr := rt.NewArray("c", 1, func(i int) Chare { return nil }, nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid migration target did not panic")
+		}
+	}()
+	arr.Elem(0).MigrateTo(9)
+}
+
+func TestMigrateToSamePENotCounted(t *testing.T) {
+	_, rt := testRT(t, 2)
+	arr := rt.NewArray("c", 1, func(i int) Chare { return nil }, nil)
+	arr.Elem(0).MigrateTo(arr.Elem(0).PE)
+	if rt.Stats.Migrations != 0 {
+		t.Fatal("no-op migration counted")
+	}
+}
+
+func TestLoadAccumulatesAndTakes(t *testing.T) {
+	e, rt := testRT(t, 1)
+	arr := rt.NewArray("c", 1, func(i int) Chare { return nil }, nil)
+	work := arr.Register(Entry{
+		Name: "w",
+		Fn:   func(p *sim.Proc, pe *PE, el *Element, msg *Message) { p.Sleep(2) },
+	})
+	rt.Main(func(p *sim.Proc) {
+		arr.Send(-1, 0, work, nil)
+		arr.Send(-1, 0, work, nil)
+	})
+	e.RunAll()
+	if got := arr.Elem(0).Load(); got != 4 {
+		t.Fatalf("load = %v, want 4", got)
+	}
+	if got := arr.Elem(0).TakeLoad(); got != 4 {
+		t.Fatalf("TakeLoad = %v", got)
+	}
+	if arr.Elem(0).Load() != 0 {
+		t.Fatal("TakeLoad did not reset")
+	}
+}
+
+func TestGreedyRebalanceEvensLoad(t *testing.T) {
+	_, rt := testRT(t, 4)
+	// 8 elements, all initially on PE 0, loads 8,7,...,1.
+	arr := rt.NewArray("c", 8, func(i int) Chare { return nil }, func(i int) int { return 0 })
+	for i := 0; i < 8; i++ {
+		arr.Elem(i).load = sim.Time(8 - i)
+	}
+	if imb := MaxLoadImbalance(arr, 4); imb < 3.9 {
+		t.Fatalf("setup: imbalance %.2f, want ~4 (everything on one PE)", imb)
+	}
+	moved := GreedyRebalance(arr, 4)
+	if moved == 0 {
+		t.Fatal("rebalance moved nothing")
+	}
+	// LPT on loads 8..1 over 4 PEs gives a perfect 9/9/9/9 split:
+	// {8,1},{7,2},{6,3},{5,4}.
+	per := map[int]sim.Time{}
+	loads := []sim.Time{8, 7, 6, 5, 4, 3, 2, 1}
+	for i := 0; i < 8; i++ {
+		per[arr.Elem(i).PE] += loads[i]
+	}
+	for pe, l := range per {
+		if l != 9 {
+			t.Fatalf("PE %d load %v after LPT, want 9", pe, l)
+		}
+	}
+	// Loads were consumed by TakeLoad.
+	if arr.Elem(0).Load() != 0 {
+		t.Fatal("rebalance did not reset loads")
+	}
+}
+
+func TestMaxLoadImbalanceUniform(t *testing.T) {
+	_, rt := testRT(t, 4)
+	arr := rt.NewArray("c", 8, func(i int) Chare { return nil }, nil)
+	for i := 0; i < 8; i++ {
+		arr.Elem(i).load = 1
+	}
+	if imb := MaxLoadImbalance(arr, 4); imb != 1 {
+		t.Fatalf("uniform imbalance %.2f, want 1", imb)
+	}
+	// Zero load: defined as balanced.
+	for i := 0; i < 8; i++ {
+		arr.Elem(i).load = 0
+	}
+	if imb := MaxLoadImbalance(arr, 4); imb != 1 {
+		t.Fatalf("zero-load imbalance %.2f, want 1", imb)
+	}
+}

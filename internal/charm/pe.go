@@ -1,0 +1,151 @@
+package charm
+
+import (
+	"fmt"
+
+	"github.com/hetmem/hetmem/internal/projections"
+	"github.com/hetmem/hetmem/internal/sim"
+)
+
+// Task is a deliverable unit: a message bound for one chare element's
+// entry method. The OOC layer wraps Tasks (plus their data dependences)
+// into OOCTasks.
+type Task struct {
+	Elem  *Element
+	Entry *Entry
+	Msg   *Message
+
+	// Deps is resolved from the entry's dependence declaration when
+	// the task is created.
+	Deps []DataDep
+
+	// EnqueueTime is when the task entered the system (send time).
+	EnqueueTime sim.Time
+
+	// Ctx is interceptor-private state attached during pre-processing
+	// (the OOC layer stores its OOCTask wrapper here).
+	Ctx interface{}
+}
+
+// String renders the task for diagnostics.
+func (t *Task) String() string {
+	return fmt.Sprintf("%s[%d].%s", t.Elem.arr.name, t.Elem.Index, t.Entry.Name)
+}
+
+// PE is a processing element: one worker with a converse scheduler
+// process, a FIFO message queue and a FIFO run queue of OOC-ready
+// tasks. The run queue has priority, matching the paper ("tasks are
+// picked up in FIFO order from the run queue and scheduled").
+type PE struct {
+	rt *Runtime
+	id int
+
+	mu       sim.Mutex
+	notEmpty *sim.Cond
+	msgq     []*Task
+	runq     []*Task
+
+	proc *sim.Proc
+
+	// Stats for this PE.
+	Delivered int64
+	Executed  int64
+}
+
+func newPE(rt *Runtime, id int) *PE {
+	pe := &PE{rt: rt, id: id}
+	pe.mu.AcquireCost = rt.params.LockCost
+	pe.notEmpty = sim.NewCond(&pe.mu)
+	return pe
+}
+
+// ID returns the PE index.
+func (pe *PE) ID() int { return pe.id }
+
+// Runtime returns the owning runtime.
+func (pe *PE) Runtime() *Runtime { return pe.rt }
+
+func (pe *PE) start() {
+	pe.proc = pe.rt.Engine().Spawn(fmt.Sprintf("PE%d", pe.id), pe.loop)
+}
+
+// enqueueMsg appends a task to the message queue (called from the
+// sender's context via an engine event after MsgLatency).
+func (pe *PE) enqueueMsg(t *Task) {
+	pe.msgq = append(pe.msgq, t)
+	pe.notEmpty.Signal()
+}
+
+// PushRun adds an OOC-ready task to this PE's run queue and wakes the
+// scheduler. It may be called from any process (IO threads, other PEs).
+func (pe *PE) PushRun(p *sim.Proc, t *Task) {
+	pe.mu.Lock(p)
+	pe.runq = append(pe.runq, t)
+	pe.mu.Unlock(p)
+	pe.notEmpty.Signal()
+}
+
+// QueueLengths returns the current message- and run-queue lengths.
+func (pe *PE) QueueLengths() (msgs, ready int) { return len(pe.msgq), len(pe.runq) }
+
+// loop is the converse scheduler: pop run-queue tasks first, then
+// messages; intercept [prefetch] messages; execute entry methods to
+// completion, serially per PE.
+func (pe *PE) loop(p *sim.Proc) {
+	rt := pe.rt
+	for {
+		pe.mu.Lock(p)
+		for len(pe.runq) == 0 && len(pe.msgq) == 0 {
+			idleEnd := rt.tracer.Begin(pe.id, projections.IdleWait, "idle")
+			pe.notEmpty.Wait(p)
+			idleEnd()
+		}
+		var t *Task
+		fromRunQueue := false
+		if len(pe.runq) > 0 {
+			t = pe.runq[0]
+			pe.runq = pe.runq[1:]
+			fromRunQueue = true
+		} else {
+			t = pe.msgq[0]
+			pe.msgq = pe.msgq[1:]
+		}
+		pe.mu.Unlock(p)
+
+		if rt.params.SchedOverhead > 0 {
+			ovEnd := rt.tracer.Begin(pe.id, projections.Overhead, "sched")
+			p.Sleep(rt.params.SchedOverhead)
+			ovEnd()
+		}
+		rt.Stats.MessagesDelivered++
+		pe.Delivered++
+
+		// Interception point: fresh [prefetch] messages go through
+		// the OOC layer's pre-processing. Tasks arriving from the run
+		// queue were already admitted and run directly.
+		if !fromRunQueue && t.Entry.Prefetch && rt.interceptor != nil {
+			rt.Stats.TasksIntercepted++
+			if rt.interceptor.Intercept(p, pe, t) {
+				continue
+			}
+		}
+
+		pe.execute(p, t)
+	}
+}
+
+// execute runs the entry method and, for [prefetch] entries under an
+// interceptor, the generated post-processing (eviction) step.
+func (pe *PE) execute(p *sim.Proc, t *Task) {
+	rt := pe.rt
+	end := rt.tracer.Begin(pe.id, projections.Compute, t.Entry.Name)
+	start := p.Now()
+	t.Entry.Fn(p, pe, t.Elem, t.Msg)
+	t.Elem.load += p.Now() - start
+	end()
+	rt.Stats.TasksExecuted++
+	pe.Executed++
+	if t.Entry.Prefetch && rt.interceptor != nil {
+		rt.interceptor.PostProcess(p, pe, t)
+	}
+}

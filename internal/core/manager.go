@@ -1,0 +1,400 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/hetmem/hetmem/internal/charm"
+	"github.com/hetmem/hetmem/internal/memsim"
+	"github.com/hetmem/hetmem/internal/projections"
+	"github.com/hetmem/hetmem/internal/sim"
+	"github.com/hetmem/hetmem/internal/topology"
+)
+
+// Mode selects the evaluation configuration for data placement and
+// movement, matching the bars of Figures 8 and 9.
+type Mode int
+
+const (
+	// DDROnly places every block in DDR4 and never moves data (the
+	// "DDR4only" bar of Fig. 9).
+	DDROnly Mode = iota
+	// Baseline is the paper's Naive scheme: fill HBM at allocation
+	// time (numa_alloc_onnode with preferred-HBM placement), overflow
+	// to DDR4, never move data.
+	Baseline
+	// SingleIO stages tasks through per-PE wait queues served by one
+	// IO thread.
+	SingleIO
+	// NoIO has workers fetch and evict their own dependences
+	// synchronously in pre-/post-processing.
+	NoIO
+	// MultiIO runs one asynchronous IO thread per PE (on the SMT
+	// sibling hyperthread), overlapping fetch/evict with compute.
+	MultiIO
+)
+
+// String names the mode as the paper's figure legends do.
+func (m Mode) String() string {
+	switch m {
+	case DDROnly:
+		return "DDR4only"
+	case Baseline:
+		return "Naive"
+	case SingleIO:
+		return "Single IO thread"
+	case NoIO:
+		return "No IO thread"
+	case MultiIO:
+		return "Multiple IO threads"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Moves reports whether the mode performs prefetch/eviction.
+func (m Mode) Moves() bool { return m == SingleIO || m == NoIO || m == MultiIO }
+
+// Options configure a Manager.
+type Options struct {
+	// Mode is the placement/movement configuration.
+	Mode Mode
+	// HBMReserve is HBM headroom never used for data blocks. The
+	// paper's Baseline "allocates close to 15GB or more on HBM ...
+	// ensuring we do not over-subscribe"; movement strategies keep
+	// the same headroom so "HBM full" means the same thing everywhere.
+	HBMReserve int64
+	// EvictLazily keeps dead blocks in HBM until space is needed (the
+	// paper's planned memory-pool optimisation; used by the eviction
+	// ablation). The paper's own strategies evict eagerly.
+	EvictLazily bool
+	// IOThreads overrides the IO thread count for SingleIO (ablation
+	// X3 sweeps 1..N threads round-robining over all wait queues).
+	// Zero means the mode's natural count.
+	IOThreads int
+	// SharedWaitQueue collapses the per-PE wait queues into one global
+	// queue (ablation X2: the load-imbalance configuration the paper
+	// argues against). Only meaningful for SingleIO.
+	SharedWaitQueue bool
+	// PrefetchDepth bounds how many tasks per PE may be staged (in
+	// the run queue or executing) at once under MultiIO; 0 means
+	// unlimited, i.e. prefetch as far ahead as HBM capacity allows —
+	// the paper's behaviour. The X6 ablation sweeps this to show the
+	// overlap-vs-capacity-pressure trade-off of §IV-D ("when to
+	// prefetch").
+	PrefetchDepth int
+}
+
+// DefaultOptions returns the paper-faithful configuration for a mode.
+func DefaultOptions(mode Mode) Options {
+	return Options{Mode: mode, HBMReserve: 1 * topology.GB}
+}
+
+// Manager owns the managed handles, the HBM budget and the scheduling
+// strategy; it implements charm.Interceptor.
+type Manager struct {
+	rt    *charm.Runtime
+	mach  *topology.Machine
+	opts  Options
+	strat strategy
+
+	handles []*Handle
+
+	// reserved protects HBM capacity promised to staging tasks whose
+	// fetches have not yet allocated it. Reserving the full remaining
+	// dependence footprint atomically before the first fetch prevents
+	// the partial-acquisition deadlock that concurrent IO threads
+	// would otherwise hit when several tasks each pin part of their
+	// blocks and wait forever for the rest.
+	reserved int64
+
+	// Stats aggregates data-movement activity.
+	Stats struct {
+		Fetches      int64
+		Evictions    int64
+		BytesFetched float64
+		BytesEvicted float64
+		FetchTime    sim.Time
+		EvictTime    sim.Time
+		TasksStaged  int64
+		TasksInline  int64
+		// StageRetries counts staging attempts aborted for lack of
+		// HBM capacity.
+		StageRetries int64
+		// ForcedEvictions counts evictions of blocks that a queued
+		// task still needed (capacity pressure overrode affinity).
+		ForcedEvictions int64
+	}
+}
+
+// NewManager builds a manager for rt under opts and installs it as the
+// runtime's interceptor when the mode moves data.
+func NewManager(rt *charm.Runtime, opts Options) *Manager {
+	if opts.HBMReserve < 0 {
+		panic("core: negative HBM reserve")
+	}
+	m := &Manager{rt: rt, mach: rt.Machine(), opts: opts}
+	// A migration memcpy is a single thread's copy loop (Fig. 7's
+	// cost basis); the full routine adds the fixed alloc/free cost.
+	if m.mach.Alloc.MemcpyRateCap == 0 {
+		m.mach.Alloc.MemcpyRateCap = m.mach.Spec.MemcpyBW
+	}
+	if m.mach.Alloc.MigrateOpCost == 0 {
+		m.mach.Alloc.MigrateOpCost = m.mach.Spec.MigrationOpCost
+	}
+	switch opts.Mode {
+	case DDROnly, Baseline:
+		// No interception: placement only.
+	case SingleIO:
+		m.strat = newSingleIO(m)
+	case NoIO:
+		m.strat = newNoIO(m)
+	case MultiIO:
+		m.strat = newMultiIO(m)
+	default:
+		panic(fmt.Sprintf("core: unknown mode %v", opts.Mode))
+	}
+	if m.strat != nil {
+		rt.SetInterceptor(m)
+	}
+	return m
+}
+
+// Runtime returns the runtime this manager serves.
+func (m *Manager) Runtime() *charm.Runtime { return m.rt }
+
+// Mode returns the configured mode.
+func (m *Manager) Mode() Mode { return m.opts.Mode }
+
+// Options returns the manager's configuration.
+func (m *Manager) Options() Options { return m.opts }
+
+// hbm and ddr are the machine's memory nodes.
+func (m *Manager) hbm() *memsim.Node { return m.mach.HBM() }
+func (m *Manager) ddr() *memsim.Node { return m.mach.DDR() }
+
+// HBMBudget returns the bytes of HBM available for data blocks.
+func (m *Manager) HBMBudget() int64 { return m.hbm().Cap - m.opts.HBMReserve }
+
+// hbmFits reports whether size more bytes can be placed in HBM without
+// touching the reserve headroom or capacity promised to other staging
+// tasks.
+func (m *Manager) hbmFits(size int64) bool {
+	return m.hbm().Free()-m.opts.HBMReserve-m.reserved >= size
+}
+
+// reserveCapacity atomically claims need bytes of HBM budget for an
+// imminent sequence of fetches, reclaiming dead resident blocks on
+// demand if required. It reports whether the claim succeeded.
+func (m *Manager) reserveCapacity(p *sim.Proc, lane int, need int64) bool {
+	if !m.hbmFits(need) && !m.makeRoom(p, lane, need) {
+		return false
+	}
+	m.reserved += need
+	return true
+}
+
+// unreserveCapacity returns unused reservation.
+func (m *Manager) unreserveCapacity(n int64) {
+	m.reserved -= n
+	if m.reserved < 0 {
+		panic("core: reservation underflow")
+	}
+}
+
+// NewHandle declares a managed data block of the given size. Placement
+// follows the mode: movement strategies and DDROnly start on DDR4;
+// Baseline fills HBM block-by-block until only the reserve is left.
+func (m *Manager) NewHandle(name string, size int64) *Handle {
+	if size <= 0 {
+		panic("core: handle needs positive size")
+	}
+	h := &Handle{mgr: m, name: name, size: size}
+	h.mu.AcquireCost = m.rt.Params().LockCost
+
+	alloc := m.mach.Alloc
+	switch m.opts.Mode {
+	case Baseline:
+		if m.hbmFits(size) {
+			buf, err := alloc.AllocOnNode(size, topology.HBMNodeID)
+			if err != nil {
+				panic(fmt.Sprintf("core: baseline HBM alloc of %s failed: %v", name, err))
+			}
+			h.buf, h.state = buf, InHBM
+			break
+		}
+		fallthrough
+	default: // DDROnly and all movement strategies allocate on DDR4
+		buf, err := alloc.AllocOnNode(size, topology.DDRNodeID)
+		if err != nil {
+			panic(fmt.Sprintf("core: DDR alloc of %s (%d bytes) failed: %v", name, size, err))
+		}
+		h.buf, h.state = buf, InDDR
+	}
+	m.handles = append(m.handles, h)
+	return h
+}
+
+// Handles returns every handle declared through the manager.
+func (m *Manager) Handles() []*Handle { return m.handles }
+
+// ResidentBytes returns the bytes of managed blocks currently in HBM.
+func (m *Manager) ResidentBytes() int64 {
+	var total int64
+	for _, h := range m.handles {
+		total += h.buf.BytesOn(topology.HBMNodeID)
+	}
+	return total
+}
+
+// errHBMBudget reports that a fetch lost a capacity race and should be
+// retried after the next eviction.
+var errHBMBudget = fmt.Errorf("core: HBM budget exhausted")
+
+// fetch migrates h into HBM, holding the block lock for the duration.
+// When hasReservation is set the caller pre-claimed h.size bytes with
+// reserveCapacity; the reservation is consumed here exactly once
+// (whether or not a migration turns out to be needed). Otherwise the
+// budget check sits directly before the migration, after all lock
+// waits, so check-and-allocate is atomic in virtual time.
+func (m *Manager) fetch(p *sim.Proc, lane int, h *Handle, hasReservation bool) error {
+	lockEnd := m.rt.Tracer().Begin(lane, projections.LockWait, "blk:"+h.name)
+	h.mu.Lock(p)
+	lockEnd()
+	defer h.mu.Unlock(p)
+	if hasReservation {
+		m.unreserveCapacity(h.size)
+	}
+	if h.state == InHBM {
+		return nil
+	}
+	if h.state == Fetching || h.state == Evicting {
+		panic("core: block " + h.name + " in transition while lock held")
+	}
+	if !hasReservation && !m.hbmFits(h.size) {
+		return errHBMBudget
+	}
+	h.state = Fetching
+	end := m.rt.Tracer().Begin(lane, projections.Fetch, h.name)
+	d, err := m.mach.Alloc.Migrate(p, h.buf, topology.HBMNodeID)
+	end()
+	if err != nil {
+		h.state = InDDR
+		return err
+	}
+	h.state = InHBM
+	h.Fetches++
+	m.Stats.Fetches++
+	m.Stats.BytesFetched += float64(h.size)
+	m.Stats.FetchTime += d
+	return nil
+}
+
+// evict migrates h back to DDR4 if it is resident, unreferenced, and —
+// unless force is set — not needed by any queued task. makeRoom forces
+// eviction of pending-use blocks as a last resort under capacity
+// pressure.
+func (m *Manager) evict(p *sim.Proc, lane int, h *Handle, force bool) {
+	lockEnd := m.rt.Tracer().Begin(lane, projections.LockWait, "blk:"+h.name)
+	h.mu.Lock(p)
+	lockEnd()
+	defer h.mu.Unlock(p)
+	if h.state != InHBM || h.InUse() || h.claims > 0 {
+		return
+	}
+	if !force && h.pendingUses > 0 {
+		return
+	}
+	if force && h.pendingUses > 0 {
+		m.Stats.ForcedEvictions++
+	}
+	h.state = Evicting
+	end := m.rt.Tracer().Begin(lane, projections.Evict, h.name)
+	d, err := m.mach.Alloc.Migrate(p, h.buf, topology.DDRNodeID)
+	end()
+	if err != nil {
+		// DDR is the capacity backstop; failure here is a
+		// configuration error.
+		panic(fmt.Sprintf("core: eviction of %s failed: %v", h.name, err))
+	}
+	h.state = InDDR
+	h.Evictions++
+	m.Stats.Evictions++
+	m.Stats.BytesEvicted += float64(h.size)
+	m.Stats.EvictTime += d
+}
+
+// makeRoom evicts dead (resident, unreferenced) blocks until need bytes
+// fit in the HBM budget, in declaration order. Under lazy eviction this
+// is the memory pool's reclamation path; under eager eviction it is a
+// liveness backstop for blocks stranded resident by aborted staging
+// attempts. Reports whether enough space was freed.
+func (m *Manager) makeRoom(p *sim.Proc, lane int, need int64) bool {
+	// First pass: blocks no queued task needs. Second pass: any dead
+	// block, even one with pending uses — capacity beats affinity.
+	for _, force := range []bool{false, true} {
+		for _, h := range m.handles {
+			if m.hbmFits(need) {
+				return true
+			}
+			if h.state == InHBM && !h.InUse() && h.claims == 0 {
+				m.evict(p, lane, h, force)
+			}
+		}
+	}
+	return m.hbmFits(need)
+}
+
+// TaskCreated implements charm.Interceptor: record queued consumers of
+// each dependence block at send time.
+func (m *Manager) TaskCreated(t *charm.Task) {
+	for _, d := range t.Deps {
+		if h, ok := d.Handle.(*Handle); ok && h.mgr == m {
+			h.pendingUses++
+		}
+	}
+}
+
+// taskDone balances TaskCreated when a task finishes.
+func (m *Manager) taskDone(t *charm.Task) {
+	for _, d := range t.Deps {
+		if h, ok := d.Handle.(*Handle); ok && h.mgr == m {
+			if h.pendingUses == 0 {
+				panic("core: pendingUses underflow on " + h.name)
+			}
+			h.pendingUses--
+		}
+	}
+}
+
+// Intercept implements charm.Interceptor: the generated pre-processing
+// step for [prefetch] entry methods.
+func (m *Manager) Intercept(p *sim.Proc, pe *charm.PE, t *charm.Task) bool {
+	ot := newOOCTask(m, pe, t)
+	t.Ctx = ot
+	if ot.depBytes > m.HBMBudget() {
+		panic(fmt.Sprintf("core: task %s needs %d dep bytes, exceeding the %d-byte HBM budget; decompose further",
+			t, ot.depBytes, m.HBMBudget()))
+	}
+	return m.strat.admit(p, ot)
+}
+
+// PostProcess implements charm.Interceptor: the generated
+// post-processing (eviction) step after a [prefetch] entry runs.
+func (m *Manager) PostProcess(p *sim.Proc, pe *charm.PE, t *charm.Task) {
+	m.taskDone(t)
+	ot, _ := t.Ctx.(*OOCTask)
+	if ot == nil {
+		return
+	}
+	m.strat.complete(p, ot)
+}
+
+// strategy is the scheduling policy plugged into the manager.
+type strategy interface {
+	name() string
+	// admit is pre-processing: returns true if the task was staged
+	// (owned by the strategy), false to execute inline now.
+	admit(p *sim.Proc, ot *OOCTask) bool
+	// complete is post-processing after the entry method ran.
+	complete(p *sim.Proc, ot *OOCTask)
+}

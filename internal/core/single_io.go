@@ -1,0 +1,126 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/hetmem/hetmem/internal/sim"
+)
+
+// singleIO is the paper's "Multiple queues, Single IO thread" strategy:
+// one wait queue per PE (or one shared queue under the X2 ablation),
+// served round-robin by a single IO thread that prefetches dependences
+// and moves ready tasks to the PEs' run queues. Workers evict their own
+// dependences in post-processing and wake the IO thread afterwards.
+//
+// The per-PE queues exist to avoid load imbalance: "with a single wait
+// queue, it is possible that the IO thread prefetches data for n tasks
+// on PE0 instead of fetching data for n tasks on n PEs". The X3
+// ablation raises the thread count: every IO thread round-robins over
+// all queues.
+type singleIO struct {
+	m   *Manager
+	wqs []*waitQueue
+
+	ioMu   sim.Mutex
+	ioCond *sim.Cond
+	work   bool
+}
+
+func newSingleIO(m *Manager) *singleIO {
+	s := &singleIO{m: m}
+	s.ioMu.AcquireCost = m.rt.Params().LockCost
+	s.ioCond = sim.NewCond(&s.ioMu)
+	nq := m.rt.NumPEs()
+	if m.opts.SharedWaitQueue {
+		nq = 1
+	}
+	for i := 0; i < nq; i++ {
+		s.wqs = append(s.wqs, newWaitQueue(m.rt.Params().LockCost))
+	}
+	threads := m.opts.IOThreads
+	if threads <= 0 {
+		threads = 1
+	}
+	for i := 0; i < threads; i++ {
+		lane := m.rt.NumPEs() + i
+		m.rt.Engine().Spawn(fmt.Sprintf("IO%d", i), func(q *sim.Proc) { s.ioLoop(q, lane) })
+	}
+	return s
+}
+
+func (s *singleIO) name() string { return "single-io" }
+
+// queueFor returns the wait queue a PE's tasks join.
+func (s *singleIO) queueFor(pe int) *waitQueue {
+	if len(s.wqs) == 1 {
+		return s.wqs[0]
+	}
+	return s.wqs[pe]
+}
+
+// kick wakes the IO thread(s).
+func (s *singleIO) kick(p *sim.Proc) {
+	s.ioMu.Lock(p)
+	s.work = true
+	s.ioMu.Unlock(p)
+	s.ioCond.Broadcast()
+}
+
+func (s *singleIO) admit(p *sim.Proc, ot *OOCTask) bool {
+	// Fast path from the paper: "A task checks if it is ready to
+	// execute, i.e. if all the data dependences are in INHBM; if so,
+	// the task is immediately added to the run queue."  Running it
+	// inline is equivalent to queueing it at the head of the run
+	// queue and avoids a scheduler round-trip.
+	if ot.ready() {
+		ot.pinAll()
+		s.m.Stats.TasksInline++
+		return false
+	}
+	s.queueFor(ot.pe.ID()).push(p, ot)
+	s.m.Stats.TasksStaged++
+	s.kick(p)
+	return true
+}
+
+func (s *singleIO) complete(p *sim.Proc, ot *OOCTask) {
+	// Post-processing: the worker evicts its own dead dependences,
+	// then wakes the sleeping IO thread so freed space can be reused.
+	ot.release(p, ot.pe.ID())
+	s.kick(p)
+}
+
+// ioLoop is Algorithm 1: while space remains in HBM, pop the first task
+// of each wait queue in turn, bring in its data, and move it to the run
+// queue; sleep when out of tasks or capacity.
+func (s *singleIO) ioLoop(q *sim.Proc, lane int) {
+	for {
+		s.ioMu.Lock(q)
+		for !s.work {
+			s.ioCond.Wait(q)
+		}
+		s.work = false
+		s.ioMu.Unlock(q)
+
+		for progress := true; progress; {
+			progress = false
+			// Serve each queue once per pass so all PEs advance
+			// together ("serving all PEs equally").
+			for _, wq := range s.wqs {
+				ot := wq.pop(q)
+				if ot == nil {
+					continue
+				}
+				if ot.stage(q, lane) {
+					ot.Staged = true
+					ot.pe.PushRun(q, ot.t)
+					progress = true
+				} else {
+					// HBM full: keep FIFO order and stall this
+					// queue until an eviction wakes us.
+					wq.pushFront(q, ot)
+				}
+			}
+		}
+	}
+}

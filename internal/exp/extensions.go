@@ -1,0 +1,341 @@
+package exp
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/hetmem/hetmem/internal/cachemode"
+	"github.com/hetmem/hetmem/internal/core"
+	"github.com/hetmem/hetmem/internal/kernels"
+	"github.com/hetmem/hetmem/internal/projections"
+	"github.com/hetmem/hetmem/internal/sim"
+)
+
+// --- X1: cache-mode comparison (the paper's future work) ---
+
+// CacheModeRow compares flat-mode MultiIO against the analytic
+// cache-mode model for one total working set.
+type CacheModeRow struct {
+	TotalBytes    int64
+	FlatIterTime  sim.Time // measured, MultiIO in flat mode
+	CacheIterTime sim.Time // analytic direct-mapped cache model
+	HitRate       float64
+}
+
+// CacheModeResult is experiment X1.
+type CacheModeResult struct {
+	Scale Scale
+	Rows  []CacheModeRow
+}
+
+// RunCacheMode sweeps stencil working sets across the HBM capacity
+// boundary and compares runtime-managed flat mode with hardware cache
+// mode.
+func RunCacheMode(s Scale) (*CacheModeResult, error) {
+	spec := s.Machine()
+	cacheCfg := cachemode.DefaultConfig()
+	cacheCfg.CacheBytes = spec.HBMCap
+	res := &CacheModeResult{Scale: s}
+
+	totals := []int64{8 * GB, 16 * GB, 32 * GB, 48 * GB}
+	if s == Small {
+		totals = []int64{GB, 2 * GB, 4 * GB, 6 * GB}
+	}
+	for _, total := range totals {
+		cfg := s.StencilConfig(s.StencilReducedSizes()[1])
+		cfg.TotalBytes = total
+		if cfg.ReducedBytes > total {
+			cfg.ReducedBytes = total
+		}
+		env := s.newEnv(s.options(core.MultiIO), false)
+		app, err := kernels.NewStencil(env.MG, cfg)
+		if err != nil {
+			env.Close()
+			return nil, err
+		}
+		if _, err := app.Run(); err != nil {
+			env.Close()
+			return nil, fmt.Errorf("exp: cachemode at %s: %w", gbs(total), err)
+		}
+		flat := app.AvgIterTime()
+		env.Close()
+
+		// Analytic cache mode: the iteration streams the same bytes
+		// the kernels do, at the effective cache-mode bandwidth for
+		// this working set.
+		perIter := float64(cfg.TotalBytes) / 2 * 3 * float64(cfg.Sweeps)
+		cache := sim.Time(cacheCfg.StreamTime(spec, total, perIter))
+		res.Rows = append(res.Rows, CacheModeRow{
+			TotalBytes:    total,
+			FlatIterTime:  flat,
+			CacheIterTime: cache,
+			HitRate:       cacheCfg.HitRate(total),
+		})
+	}
+	return res, nil
+}
+
+// Table renders X1.
+func (r *CacheModeResult) Table() Table {
+	t := Table{
+		Title:  "X1: flat mode + runtime prefetch vs hardware cache mode (Stencil3D)",
+		Header: []string{"total WS", "flat+MultiIO iter (s)", "cache-mode iter (s)", "cache hit rate"},
+		Notes: []string{
+			"extension: the comparison the paper defers to future work;",
+			"cache mode degrades as the working set outgrows MCDRAM",
+		},
+	}
+	for _, row := range r.Rows {
+		t.Rows = append(t.Rows, []string{
+			gbs(row.TotalBytes), f3(row.FlatIterTime), f3(row.CacheIterTime), f3(row.HitRate),
+		})
+	}
+	return t
+}
+
+// --- X2: wait-queue topology ablation ---
+
+// QueueAblationResult compares SingleIO with per-PE wait queues (the
+// paper's design) against a single shared wait queue (the load-
+// imbalance strawman the paper argues against).
+type QueueAblationResult struct {
+	Scale      Scale
+	PerPETime  sim.Time
+	SharedTime sim.Time
+	// IdleStdDev measures load imbalance: the standard deviation of
+	// per-PE idle time.
+	PerPEIdleStd  sim.Time
+	SharedIdleStd sim.Time
+}
+
+// RunAblationQueues runs the stencil under both queue topologies.
+func RunAblationQueues(s Scale) (*QueueAblationResult, error) {
+	run := func(shared bool) (sim.Time, sim.Time, error) {
+		opts := s.options(core.SingleIO)
+		opts.SharedWaitQueue = shared
+		cfg := s.StencilConfig(s.StencilReducedSizes()[0])
+		env := s.newEnv(opts, true)
+		defer env.Close()
+		app, err := kernels.NewStencil(env.MG, cfg)
+		if err != nil {
+			return 0, 0, err
+		}
+		total, err := app.Run()
+		if err != nil {
+			return 0, 0, err
+		}
+		return total, idleStdDev(env, s.NumPEs()), nil
+	}
+	perPE, perStd, err := run(false)
+	if err != nil {
+		return nil, err
+	}
+	shared, sharedStd, err := run(true)
+	if err != nil {
+		return nil, err
+	}
+	return &QueueAblationResult{
+		Scale: s, PerPETime: perPE, SharedTime: shared,
+		PerPEIdleStd: perStd, SharedIdleStd: sharedStd,
+	}, nil
+}
+
+// idleStdDev computes the stddev of per-worker idle time, the load-
+// imbalance measure for X2.
+func idleStdDev(env *kernels.Env, workers int) sim.Time {
+	sum := env.Tracer.Summarize()
+	var mean float64
+	vals := make([]float64, 0, workers)
+	for pe := 0; pe < len(sum.PerPE) && pe < workers; pe++ {
+		vals = append(vals, float64(sum.PerPE[pe][projections.IdleWait]))
+		mean += vals[len(vals)-1]
+	}
+	if len(vals) == 0 {
+		return 0
+	}
+	mean /= float64(len(vals))
+	var acc float64
+	for _, v := range vals {
+		acc += (v - mean) * (v - mean)
+	}
+	return sim.Time(math.Sqrt(acc / float64(len(vals))))
+}
+
+// Table renders X2.
+func (r *QueueAblationResult) Table() Table {
+	return Table{
+		Title:  "X2 (ablation): SingleIO wait-queue topology (Stencil3D)",
+		Header: []string{"queues", "total (s)", "per-PE idle stddev (s)"},
+		Rows: [][]string{
+			{"one per PE (paper)", f2(r.PerPETime), f3(r.PerPEIdleStd)},
+			{"single shared", f2(r.SharedTime), f3(r.SharedIdleStd)},
+		},
+		Notes: []string{
+			"paper: per-PE queues avoid the IO thread serving n tasks on one",
+			"PE before any other ('serving all PEs equally')",
+		},
+	}
+}
+
+// --- X3: IO thread count sweep ---
+
+// IOThreadsRow is one point of the IO-thread-count sweep.
+type IOThreadsRow struct {
+	Threads int
+	Time    sim.Time
+	Speedup float64 // vs 1 thread
+}
+
+// IOThreadsResult is experiment X3: the paper plans "finding more
+// optimal IO thread count such that one IO thread can be assigned to a
+// subgroup of wait queues".
+type IOThreadsResult struct {
+	Scale Scale
+	Rows  []IOThreadsRow
+}
+
+// RunAblationIOThreads sweeps the SingleIO strategy's thread count.
+func RunAblationIOThreads(s Scale) (*IOThreadsResult, error) {
+	res := &IOThreadsResult{Scale: s}
+	counts := []int{1, 2, 4, 8, 16, 32}
+	if s == Small {
+		counts = []int{1, 2, 4, 8}
+	}
+	var base sim.Time
+	for _, n := range counts {
+		opts := s.options(core.SingleIO)
+		opts.IOThreads = n
+		cfg := s.StencilConfig(s.StencilReducedSizes()[0])
+		env := s.newEnv(opts, false)
+		app, err := kernels.NewStencil(env.MG, cfg)
+		if err != nil {
+			env.Close()
+			return nil, err
+		}
+		total, err := app.Run()
+		env.Close()
+		if err != nil {
+			return nil, fmt.Errorf("exp: io threads %d: %w", n, err)
+		}
+		if n == 1 {
+			base = total
+		}
+		res.Rows = append(res.Rows, IOThreadsRow{
+			Threads: n, Time: total, Speedup: float64(base) / float64(total),
+		})
+	}
+	return res, nil
+}
+
+// Table renders X3.
+func (r *IOThreadsResult) Table() Table {
+	t := Table{
+		Title:  "X3 (ablation): IO thread count for the staging pool (Stencil3D)",
+		Header: []string{"IO threads", "total (s)", "speedup vs 1"},
+		Notes: []string{
+			"the paper's planned 'more optimal IO thread count' study:",
+			"between one global IO thread and one per PE",
+		},
+	}
+	for _, row := range r.Rows {
+		t.Rows = append(t.Rows, []string{fmt.Sprint(row.Threads), f2(row.Time), f2(row.Speedup)})
+	}
+	return t
+}
+
+// --- X4: eviction policy ablation ---
+
+// EvictionRow compares eager vs lazy eviction for one application.
+type EvictionRow struct {
+	App       string
+	EagerTime sim.Time
+	LazyTime  sim.Time
+	EagerFet  int64
+	LazyFet   int64
+}
+
+// EvictionResult is experiment X4: the paper's planned memory-pool
+// optimisation ("the creating of space in destination memory could be
+// avoided if we maintain a memory pool in each memory type").
+type EvictionResult struct {
+	Scale Scale
+	Rows  []EvictionRow
+}
+
+// RunAblationEviction compares eviction policies under MultiIO.
+func RunAblationEviction(s Scale) (*EvictionResult, error) {
+	res := &EvictionResult{Scale: s}
+
+	runStencil := func(lazy bool) (sim.Time, int64, error) {
+		opts := s.options(core.MultiIO)
+		opts.EvictLazily = lazy
+		cfg := s.StencilConfig(s.StencilReducedSizes()[1])
+		env := s.newEnv(opts, false)
+		defer env.Close()
+		app, err := kernels.NewStencil(env.MG, cfg)
+		if err != nil {
+			return 0, 0, err
+		}
+		total, err := app.Run()
+		if err != nil {
+			return 0, 0, err
+		}
+		return total, env.MG.Stats.Fetches, nil
+	}
+	runMatMul := func(lazy bool) (sim.Time, int64, error) {
+		opts := s.options(core.MultiIO)
+		opts.EvictLazily = lazy
+		cfg := s.MatMulConfig(s.MatMulTotalSizes()[0])
+		env := s.newEnv(opts, false)
+		defer env.Close()
+		app, err := kernels.NewMatMul(env.MG, cfg)
+		if err != nil {
+			return 0, 0, err
+		}
+		total, err := app.Run()
+		if err != nil {
+			return 0, 0, err
+		}
+		return total, env.MG.Stats.Fetches, nil
+	}
+
+	se, sef, err := runStencil(false)
+	if err != nil {
+		return nil, err
+	}
+	sl, slf, err := runStencil(true)
+	if err != nil {
+		return nil, err
+	}
+	res.Rows = append(res.Rows, EvictionRow{App: "Stencil3D", EagerTime: se, LazyTime: sl, EagerFet: sef, LazyFet: slf})
+
+	me, mef, err := runMatMul(false)
+	if err != nil {
+		return nil, err
+	}
+	ml, mlf, err := runMatMul(true)
+	if err != nil {
+		return nil, err
+	}
+	res.Rows = append(res.Rows, EvictionRow{App: "MatMul", EagerTime: me, LazyTime: ml, EagerFet: mef, LazyFet: mlf})
+	return res, nil
+}
+
+// Table renders X4.
+func (r *EvictionResult) Table() Table {
+	t := Table{
+		Title:  "X4 (ablation): eager vs lazy (memory-pool) eviction under MultiIO",
+		Header: []string{"app", "eager (s)", "lazy (s)", "eager fetches", "lazy fetches"},
+		Notes: []string{
+			"lazy eviction is the paper's planned memory-pool optimisation:",
+			"dead blocks stay in HBM until capacity is needed",
+		},
+	}
+	for _, row := range r.Rows {
+		t.Rows = append(t.Rows, []string{
+			row.App, f2(row.EagerTime), f2(row.LazyTime),
+			fmt.Sprint(row.EagerFet), fmt.Sprint(row.LazyFet),
+		})
+	}
+	return t
+}

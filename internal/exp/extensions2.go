@@ -1,0 +1,264 @@
+package exp
+
+import (
+	"fmt"
+
+	"github.com/hetmem/hetmem/internal/charm"
+	"github.com/hetmem/hetmem/internal/core"
+	"github.com/hetmem/hetmem/internal/kernels"
+	"github.com/hetmem/hetmem/internal/sim"
+	"github.com/hetmem/hetmem/internal/topology"
+)
+
+// --- X5: NVM far memory (the paper's extension target) ---
+
+// NVMRow compares one mode's stencil time on the two far-memory
+// technologies.
+type NVMRow struct {
+	Mode     core.Mode
+	DDRTime  sim.Time
+	NVMTime  sim.Time
+	Speedups struct {
+		DDR float64 // vs Naive on the DDR machine
+		NVM float64 // vs Naive on the NVM machine
+	}
+}
+
+// NVMResult is experiment X5: the paper's conclusion predicts that
+// "architectures with heterogeneity in both latency and bandwidth
+// would benefit even more" from runtime-managed movement; this runs
+// the Fig. 8 stencil with an NVM far memory to test it.
+type NVMResult struct {
+	Scale Scale
+	Rows  []NVMRow
+}
+
+// nvmMachine returns the scale's machine with the far memory replaced
+// by the NVM tier.
+func (s Scale) nvmMachine() topology.MachineSpec {
+	nvm := topology.KNLWithNVM()
+	spec := s.Machine() // for the scaled HBM/core parameters
+	spec.Name = nvm.Name
+	spec.FarKind = nvm.FarKind
+	// Scale the NVM bandwidths like the other node parameters.
+	div := 1.0
+	if s == Small {
+		div = 8
+	}
+	spec.DDRCap = nvm.DDRCap
+	if s == Small {
+		spec.DDRCap = nvm.DDRCap / 8
+	}
+	spec.DDRReadBW = nvm.DDRReadBW / div
+	spec.DDRWriteBW = nvm.DDRWriteBW / div
+	spec.DDRTotalBW = nvm.DDRTotalBW / div
+	spec.DDRLatency = nvm.DDRLatency
+	return spec
+}
+
+// RunNVM compares Naive vs the strategies on DDR-far and NVM-far
+// machines.
+func RunNVM(s Scale) (*NVMResult, error) {
+	res := &NVMResult{Scale: s}
+	cfg := s.StencilConfig(s.StencilReducedSizes()[1])
+	run := func(spec topology.MachineSpec, mode core.Mode) (sim.Time, error) {
+		env := kernels.NewEnv(kernels.EnvConfig{
+			Spec:   spec,
+			NumPEs: s.NumPEs(),
+			Opts:   s.options(mode),
+			Params: charm.DefaultParams(),
+		})
+		defer env.Close()
+		app, err := kernels.NewStencil(env.MG, cfg)
+		if err != nil {
+			return 0, err
+		}
+		return app.Run()
+	}
+	ddrSpec := s.Machine()
+	nvmSpec := s.nvmMachine()
+	var naiveDDR, naiveNVM sim.Time
+	for _, mode := range []core.Mode{core.Baseline, core.NoIO, core.MultiIO} {
+		ddr, err := run(ddrSpec, mode)
+		if err != nil {
+			return nil, fmt.Errorf("exp: nvm %v on DDR: %w", mode, err)
+		}
+		nvm, err := run(nvmSpec, mode)
+		if err != nil {
+			return nil, fmt.Errorf("exp: nvm %v on NVM: %w", mode, err)
+		}
+		if mode == core.Baseline {
+			naiveDDR, naiveNVM = ddr, nvm
+		}
+		row := NVMRow{Mode: mode, DDRTime: ddr, NVMTime: nvm}
+		row.Speedups.DDR = float64(naiveDDR) / float64(ddr)
+		row.Speedups.NVM = float64(naiveNVM) / float64(nvm)
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Table renders X5.
+func (r *NVMResult) Table() Table {
+	t := Table{
+		Title:  "X5: DDR4 vs NVM far memory (Stencil3D)",
+		Header: []string{"strategy", "DDR4-far (s)", "speedup", "NVM-far (s)", "speedup"},
+		Notes: []string{
+			"paper conclusion: 'architectures with heterogeneity in both",
+			"latency and bandwidth would benefit even more'",
+		},
+	}
+	for _, row := range r.Rows {
+		t.Rows = append(t.Rows, []string{
+			row.Mode.String(),
+			f2(row.DDRTime), f2(row.Speedups.DDR),
+			f2(row.NVMTime), f2(row.Speedups.NVM),
+		})
+	}
+	return t
+}
+
+// --- X6: prefetch depth (the §IV-D "when to prefetch" trade-off) ---
+
+// PrefetchDepthRow is one point of the depth sweep.
+type PrefetchDepthRow struct {
+	Depth   int // 0 = unlimited
+	Time    sim.Time
+	Fetches int64
+}
+
+// PrefetchDepthResult is experiment X6: bounding how far ahead the
+// MultiIO IO threads stage.
+type PrefetchDepthResult struct {
+	Scale Scale
+	Rows  []PrefetchDepthRow
+}
+
+// RunAblationPrefetchDepth sweeps the MultiIO prefetch depth on the
+// stencil.
+func RunAblationPrefetchDepth(s Scale) (*PrefetchDepthResult, error) {
+	res := &PrefetchDepthResult{Scale: s}
+	for _, depth := range []int{1, 2, 4, 8, 0} {
+		opts := s.options(core.MultiIO)
+		opts.PrefetchDepth = depth
+		cfg := s.StencilConfig(s.StencilReducedSizes()[1])
+		env := s.newEnv(opts, false)
+		app, err := kernels.NewStencil(env.MG, cfg)
+		if err != nil {
+			env.Close()
+			return nil, err
+		}
+		total, err := app.Run()
+		fetches := env.MG.Stats.Fetches
+		env.Close()
+		if err != nil {
+			return nil, fmt.Errorf("exp: prefetch depth %d: %w", depth, err)
+		}
+		res.Rows = append(res.Rows, PrefetchDepthRow{Depth: depth, Time: total, Fetches: fetches})
+	}
+	return res, nil
+}
+
+// Table renders X6.
+func (r *PrefetchDepthResult) Table() Table {
+	t := Table{
+		Title:  "X6 (ablation): MultiIO prefetch depth (Stencil3D)",
+		Header: []string{"depth", "total (s)", "fetches"},
+		Notes: []string{
+			"§IV-D: prefetch must overlap computation; depth 1 serialises",
+			"staging behind each task, deeper pipelines hide it",
+		},
+	}
+	for _, row := range r.Rows {
+		d := fmt.Sprint(row.Depth)
+		if row.Depth == 0 {
+			d = "unlimited"
+		}
+		t.Rows = append(t.Rows, []string{d, f2(row.Time), fmt.Sprint(row.Fetches)})
+	}
+	return t
+}
+
+// --- X7: load balancing of an imbalanced stencil ---
+
+// LoadBalanceResult is experiment X7: the over-decomposition +
+// migratability benefit the paper's background section motivates,
+// exercised with a skewed per-chare load.
+type LoadBalanceResult struct {
+	Scale Scale
+
+	UnbalancedTime sim.Time
+	BalancedTime   sim.Time
+	Migrations     int
+
+	// Per-iteration times show the rebalance taking effect after
+	// iteration 1.
+	UnbalancedIters []sim.Time
+	BalancedIters   []sim.Time
+}
+
+// RunLoadBalance runs a stencil whose first quarter of chares carries
+// 4x the arithmetic, block-mapped so the skew lands on a quarter of
+// the PEs, with and without the greedy rebalancer.
+func RunLoadBalance(s Scale) (*LoadBalanceResult, error) {
+	res := &LoadBalanceResult{Scale: s}
+	build := func(lb bool) (sim.Time, []sim.Time, int, error) {
+		cfg := s.StencilConfig(s.StencilReducedSizes()[1])
+		n := cfg.NumChares()
+		cfg.Weight = func(i int) float64 {
+			if i < n/4 {
+				return 4
+			}
+			return 1
+		}
+		cfg.BlockMapping = true
+		cfg.LoadBalance = lb
+		cfg.Iterations = 4
+		env := s.newEnv(s.options(core.MultiIO), false)
+		defer env.Close()
+		app, err := kernels.NewStencil(env.MG, cfg)
+		if err != nil {
+			return 0, nil, 0, err
+		}
+		total, err := app.Run()
+		if err != nil {
+			return 0, nil, 0, err
+		}
+		iters := make([]sim.Time, len(app.IterEnd))
+		prev := sim.Time(0)
+		for i, t := range app.IterEnd {
+			iters[i] = t - prev
+			prev = t
+		}
+		return total, iters, app.Migrations, nil
+	}
+	var err error
+	res.UnbalancedTime, res.UnbalancedIters, _, err = build(false)
+	if err != nil {
+		return nil, err
+	}
+	res.BalancedTime, res.BalancedIters, res.Migrations, err = build(true)
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// Table renders X7.
+func (r *LoadBalanceResult) Table() Table {
+	t := Table{
+		Title:  "X7: greedy load balancing of an imbalanced Stencil3D (MultiIO)",
+		Header: []string{"configuration", "total (s)", "iter 1 (s)", "last iter (s)"},
+		Rows: [][]string{
+			{"no balancing", f2(r.UnbalancedTime),
+				f2(r.UnbalancedIters[0]), f2(r.UnbalancedIters[len(r.UnbalancedIters)-1])},
+			{fmt.Sprintf("greedy LB after iter 1 (%d moved)", r.Migrations), f2(r.BalancedTime),
+				f2(r.BalancedIters[0]), f2(r.BalancedIters[len(r.BalancedIters)-1])},
+		},
+		Notes: []string{
+			"the over-decomposition benefit of §III-A: 'over-decomposition",
+			"with migratability allows for load balancing of chares'",
+		},
+	}
+	return t
+}

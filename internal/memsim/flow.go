@@ -1,0 +1,348 @@
+package memsim
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/hetmem/hetmem/internal/sim"
+)
+
+// Access selects which bandwidth direction of a node a flow consumes.
+type Access int
+
+const (
+	// Read consumes a node's read bandwidth.
+	Read Access = iota
+	// Write consumes a node's write bandwidth.
+	Write
+)
+
+// Demand names one (node, direction) bandwidth resource.
+type Demand struct {
+	Node   *Node
+	Access Access
+}
+
+// resources returns the bandwidth pools a demand drains: its direction
+// pool plus the node's shared bus. A flow reading and writing the same
+// node therefore consumes bus capacity twice per byte-rate, as a real
+// same-node memcpy does.
+func (d Demand) resources() [2]*resource {
+	if d.Access == Read {
+		return [2]*resource{&d.Node.read, &d.Node.total}
+	}
+	return [2]*resource{&d.Node.write, &d.Node.total}
+}
+
+// Flow is an in-flight byte stream. All of its demands are consumed at
+// the flow's single current rate.
+type Flow struct {
+	sys       *System
+	demands   []Demand
+	remaining float64 // bytes
+	total     float64
+	cap       float64 // bytes/second; +Inf when uncapped
+	rate      float64 // current granted rate
+	frozen    bool    // allocator scratch
+	started   sim.Time
+	finished  sim.Time
+	done      bool
+	waiters   []*sim.Proc
+	onDone    func()
+}
+
+// FlowSpec describes a flow to start.
+type FlowSpec struct {
+	// Bytes is the volume to move. Zero-byte flows complete
+	// immediately.
+	Bytes float64
+	// Demands lists every bandwidth resource the flow occupies
+	// simultaneously (e.g. source read + destination write for a
+	// migration memcpy).
+	Demands []Demand
+	// RateCap bounds the flow's rate in bytes/second; <= 0 means
+	// uncapped. Use the per-core streaming rate for kernel flows.
+	RateCap float64
+	// OnDone, if non-nil, runs (as an engine callback) when the flow
+	// completes.
+	OnDone func()
+}
+
+const byteEps = 1e-3 // bytes below which a flow counts as complete
+
+// StartFlow begins a flow and returns it. The caller can Wait on it or
+// rely on OnDone.
+func (s *System) StartFlow(spec FlowSpec) *Flow {
+	if spec.Bytes < 0 {
+		panic("memsim: negative flow size")
+	}
+	f := &Flow{
+		sys:       s,
+		demands:   append([]Demand(nil), spec.Demands...),
+		remaining: spec.Bytes,
+		total:     spec.Bytes,
+		cap:       spec.RateCap,
+		started:   s.e.Now(),
+		onDone:    spec.OnDone,
+	}
+	if f.cap <= 0 {
+		f.cap = math.Inf(1)
+	}
+	if len(f.demands) == 0 {
+		panic("memsim: flow with no demands")
+	}
+	for _, d := range f.demands {
+		if d.Node == nil {
+			panic("memsim: flow demand with nil node")
+		}
+	}
+	if spec.Bytes <= byteEps {
+		// Trivially complete; fire OnDone asynchronously for
+		// consistency with real flows.
+		f.done = true
+		f.finished = s.e.Now()
+		if f.onDone != nil {
+			s.e.Schedule(s.e.Now(), f.onDone)
+		}
+		return f
+	}
+	s.advance()
+	s.flows = append(s.flows, f)
+	s.reallocate()
+	return f
+}
+
+// Wait parks p until the flow completes and returns its duration.
+func (f *Flow) Wait(p *sim.Proc) sim.Time {
+	for !f.done {
+		f.waiters = append(f.waiters, p)
+		p.Suspend()
+	}
+	return f.finished - f.started
+}
+
+// Done reports whether the flow has completed.
+func (f *Flow) Done() bool { return f.done }
+
+// Rate returns the flow's current granted rate in bytes/second.
+func (f *Flow) Rate() float64 { return f.rate }
+
+// Remaining returns the bytes left to move (advanced to current time).
+func (f *Flow) Remaining() float64 {
+	f.sys.advance()
+	return f.remaining
+}
+
+// Duration returns how long the flow ran; valid only after completion.
+func (f *Flow) Duration() sim.Time {
+	if !f.done {
+		panic("memsim: Duration of unfinished flow")
+	}
+	return f.finished - f.started
+}
+
+// advance integrates all flow progress from lastUpdate to now.
+func (s *System) advance() {
+	now := s.e.Now()
+	dt := now - s.lastUpdate
+	if dt <= 0 {
+		s.lastUpdate = now
+		return
+	}
+	for _, f := range s.flows {
+		moved := f.rate * dt
+		f.remaining -= moved
+		if f.remaining < 0 {
+			moved += f.remaining
+			f.remaining = 0
+		}
+		for _, d := range f.demands {
+			if d.Access == Read {
+				d.Node.BytesRead += moved
+			} else {
+				d.Node.BytesWritten += moved
+			}
+		}
+	}
+	s.lastUpdate = now
+}
+
+// reallocate recomputes max-min fair rates for all flows (progressive
+// filling), completes any finished flows, and schedules the next
+// completion event. Iteration is in flow start order, so the computation
+// is bit-for-bit deterministic.
+func (s *System) reallocate() {
+	// Complete flows that have drained, preserving order of the rest.
+	live := s.flows[:0]
+	for _, f := range s.flows {
+		if f.remaining <= byteEps {
+			s.finish(f)
+		} else {
+			live = append(live, f)
+		}
+	}
+	for i := len(live); i < len(s.flows); i++ {
+		s.flows[i] = nil
+	}
+	s.flows = live
+
+	if s.completion != nil {
+		s.completion.Cancel()
+		s.completion = nil
+	}
+	if len(s.flows) == 0 {
+		return
+	}
+
+	// Gather the distinct resources in first-use order.
+	var resources []*resource
+	for _, f := range s.flows {
+		f.rate = 0
+		f.frozen = false
+		for _, d := range f.demands {
+			for _, r := range d.resources() {
+				if !r.seen {
+					r.seen = true
+					r.remCap = r.capacity
+					r.users = 0
+					resources = append(resources, r)
+				}
+				r.users++
+			}
+		}
+	}
+	defer func() {
+		for _, r := range resources {
+			r.seen = false
+		}
+	}()
+
+	// Progressive filling: raise all unfrozen flows' rates together
+	// until each hits its cap or saturates one of its resources.
+	unfrozen := len(s.flows)
+	for unfrozen > 0 {
+		inc := math.Inf(1)
+		for _, r := range resources {
+			if r.users > 0 {
+				if v := r.remCap / float64(r.users); v < inc {
+					inc = v
+				}
+			}
+		}
+		for _, f := range s.flows {
+			if !f.frozen {
+				if v := f.cap - f.rate; v < inc {
+					inc = v
+				}
+			}
+		}
+		if inc < 0 {
+			inc = 0
+		}
+		for _, f := range s.flows {
+			if f.frozen {
+				continue
+			}
+			f.rate += inc
+			for _, d := range f.demands {
+				for _, r := range d.resources() {
+					r.remCap -= inc
+				}
+			}
+		}
+		progressed := false
+		for _, f := range s.flows {
+			if f.frozen {
+				continue
+			}
+			saturated := f.rate >= f.cap-1e-9*f.cap
+			if !saturated {
+			scan:
+				for _, d := range f.demands {
+					for _, r := range d.resources() {
+						if r.remCap <= 1e-9*r.capacity {
+							saturated = true
+							break scan
+						}
+					}
+				}
+			}
+			if saturated {
+				f.frozen = true
+				unfrozen--
+				progressed = true
+				for _, d := range f.demands {
+					for _, r := range d.resources() {
+						r.users--
+					}
+				}
+			}
+		}
+		if !progressed {
+			panic("memsim: progressive filling failed to converge")
+		}
+	}
+
+	// Schedule the next completion.
+	next := math.Inf(1)
+	for _, f := range s.flows {
+		if f.rate <= 0 {
+			panic(fmt.Sprintf("memsim: flow starved (rate 0, %g bytes left)", f.remaining))
+		}
+		if t := f.remaining / f.rate; t < next {
+			next = t
+		}
+	}
+	s.completion = s.e.After(next, func() {
+		s.advance()
+		s.reallocate()
+	})
+}
+
+// finish marks f complete and releases its waiters.
+func (s *System) finish(f *Flow) {
+	f.done = true
+	f.rate = 0
+	f.remaining = 0
+	f.finished = s.e.Now()
+	for _, w := range f.waiters {
+		w.Resume()
+	}
+	f.waiters = nil
+	if f.onDone != nil {
+		cb := f.onDone
+		s.e.Schedule(s.e.Now(), cb)
+	}
+}
+
+// Transfer moves bytes from src to dst as a blocking memcpy-style flow,
+// consuming src read bandwidth and dst write bandwidth simultaneously
+// (plus both nodes' fixed latency once up front). It returns the elapsed
+// virtual time. This is the data-movement primitive behind the paper's
+// numa_alloc_onnode + memcpy + numa_free migration routine.
+func (s *System) Transfer(p *sim.Proc, bytes float64, src, dst *Node, rateCap float64) sim.Time {
+	t0 := s.e.Now()
+	if lat := src.Latency + dst.Latency; lat > 0 {
+		p.Sleep(lat)
+	}
+	f := s.StartFlow(FlowSpec{
+		Bytes:   bytes,
+		Demands: []Demand{{Node: src, Access: Read}, {Node: dst, Access: Write}},
+		RateCap: rateCap,
+	})
+	f.Wait(p)
+	return s.e.Now() - t0
+}
+
+// ReadStream streams bytes from node as a blocking flow consuming read
+// bandwidth only (a load-dominated kernel).
+func (s *System) ReadStream(p *sim.Proc, bytes float64, node *Node, rateCap float64) sim.Time {
+	t0 := s.e.Now()
+	f := s.StartFlow(FlowSpec{
+		Bytes:   bytes,
+		Demands: []Demand{{Node: node, Access: Read}},
+		RateCap: rateCap,
+	})
+	f.Wait(p)
+	return s.e.Now() - t0
+}

@@ -1,0 +1,167 @@
+package memsim
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"github.com/hetmem/hetmem/internal/sim"
+)
+
+// flowPlan is a randomly generated workload for the bandwidth
+// allocator.
+type flowPlan struct {
+	flows []plannedFlow
+}
+
+type plannedFlow struct {
+	start sim.Time
+	bytes float64
+	cap   float64
+	src   int // node index
+	dst   int // -1 = read-only stream
+}
+
+// Generate implements quick.Generator.
+func (flowPlan) Generate(r *rand.Rand, size int) reflect.Value {
+	n := 1 + r.Intn(12)
+	p := flowPlan{}
+	for i := 0; i < n; i++ {
+		f := plannedFlow{
+			start: sim.Time(r.Float64() * 0.5),
+			bytes: float64(1+r.Intn(64)) * float64(1<<26), // 64MB..4GB
+			cap:   0,
+			src:   r.Intn(2),
+			dst:   -1,
+		}
+		if r.Intn(2) == 0 {
+			f.cap = float64(1+r.Intn(16)) * float64(1<<30) // 1..16 GB/s
+		}
+		if r.Intn(2) == 0 {
+			f.dst = r.Intn(2)
+		}
+		p.flows = append(p.flows, f)
+	}
+	return reflect.ValueOf(p)
+}
+
+// TestQuickFlowInvariants drives random flow mixes through the
+// max-min allocator and checks the physical invariants:
+//
+//  1. every flow completes;
+//  2. no flow beats its own best-case time (its cap, or the tightest
+//     resource it uses alone);
+//  3. per-node byte accounting matches the flow volumes exactly.
+func TestQuickFlowInvariants(t *testing.T) {
+	check := func(plan flowPlan) bool {
+		e := sim.NewEngine(99)
+		s := NewSystem(e, []NodeSpec{
+			{Name: "DDR", Kind: DDR, Cap: 1 << 40, ReadBW: 95 * float64(1<<30), WriteBW: 80 * float64(1<<30), TotalBW: 90 * float64(1<<30)},
+			{Name: "HBM", Kind: HBM, Cap: 1 << 40, ReadBW: 450 * float64(1<<30), WriteBW: 385 * float64(1<<30), TotalBW: 465 * float64(1<<30)},
+		})
+		type outcome struct {
+			dur   sim.Time
+			lower sim.Time
+		}
+		outcomes := make([]outcome, len(plan.flows))
+		var wantRead, wantWrite [2]float64
+		for i, pf := range plan.flows {
+			i, pf := i, pf
+			src := s.Node(pf.src)
+			// Best case: alone on every resource.
+			best := 0.0
+			demands := []Demand{{Node: src, Access: Read}}
+			rate := math.Min(src.ReadBW(), src.TotalBW())
+			wantRead[pf.src] += pf.bytes
+			if pf.dst >= 0 {
+				dst := s.Node(pf.dst)
+				demands = append(demands, Demand{Node: dst, Access: Write})
+				rate = math.Min(rate, math.Min(dst.WriteBW(), dst.TotalBW()))
+				if pf.dst == pf.src {
+					// Same-node copy crosses the bus twice.
+					rate = math.Min(rate, src.TotalBW()/2)
+				}
+				wantWrite[pf.dst] += pf.bytes
+			}
+			if pf.cap > 0 {
+				rate = math.Min(rate, pf.cap)
+			}
+			best = pf.bytes / rate
+			outcomes[i].lower = sim.Time(best)
+			e.Schedule(pf.start, func() {
+				f := s.StartFlow(FlowSpec{Bytes: pf.bytes, Demands: demands, RateCap: pf.cap})
+				start := e.Now()
+				e.Spawn("w", func(p *sim.Proc) {
+					f.Wait(p)
+					outcomes[i].dur = p.Now() - start
+				})
+			})
+		}
+		e.RunAll()
+		defer e.Close()
+		if s.ActiveFlows() != 0 {
+			return false
+		}
+		for _, o := range outcomes {
+			if o.dur <= 0 {
+				return false // did not complete
+			}
+			if o.dur < o.lower*(1-1e-9) {
+				return false // faster than physics allows
+			}
+		}
+		for n := 0; n < 2; n++ {
+			if math.Abs(s.Node(n).BytesRead-wantRead[n]) > 1 {
+				return false
+			}
+			if math.Abs(s.Node(n).BytesWritten-wantWrite[n]) > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickReserveRelease checks capacity accounting over random
+// alloc/free sequences: usage is always within [0, Cap] and returns to
+// zero.
+func TestQuickReserveRelease(t *testing.T) {
+	check := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		e := sim.NewEngine(1)
+		s := NewSystem(e, []NodeSpec{
+			{Name: "N", Kind: HBM, Cap: 16 << 30, ReadBW: 1, WriteBW: 1},
+		})
+		n := s.Node(0)
+		var live []int64
+		for i := 0; i < 200; i++ {
+			if r.Intn(2) == 0 || len(live) == 0 {
+				sz := int64(1+r.Intn(1<<20)) * 512
+				if n.Reserve(sz) {
+					live = append(live, sz)
+				} else if n.Used()+sz <= n.Cap {
+					return false // refused an allocation that fits
+				}
+			} else {
+				k := r.Intn(len(live))
+				n.Release(live[k])
+				live = append(live[:k], live[k+1:]...)
+			}
+			if n.Used() < 0 || n.Used() > n.Cap {
+				return false
+			}
+		}
+		for _, sz := range live {
+			n.Release(sz)
+		}
+		return n.Used() == 0
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,331 @@
+package numa
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"github.com/hetmem/hetmem/internal/memsim"
+	"github.com/hetmem/hetmem/internal/sim"
+)
+
+const gb = int64(1) << 30
+
+func testSetup() (*sim.Engine, *memsim.System, *Allocator) {
+	e := sim.NewEngine(1)
+	sys := memsim.NewSystem(e, []memsim.NodeSpec{
+		{Name: "DDR4", Kind: memsim.DDR, Cap: 96 * gb, ReadBW: 100 * float64(gb), WriteBW: 80 * float64(gb)},
+		{Name: "MCDRAM", Kind: memsim.HBM, Cap: 16 * gb, ReadBW: 400 * float64(gb), WriteBW: 380 * float64(gb)},
+	})
+	return e, sys, New(sys)
+}
+
+func TestPolicyString(t *testing.T) {
+	if Bind.String() != "membind" || Preferred.String() != "preferred" || Interleave.String() != "interleave" {
+		t.Fatal("policy names")
+	}
+	if Policy(9).String() != "Policy(9)" {
+		t.Fatal("unknown policy name")
+	}
+}
+
+func TestAllocOnNode(t *testing.T) {
+	_, sys, a := testSetup()
+	b, err := a.AllocOnNode(4*gb, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !b.OnNode(1) || b.Size() != 4*gb {
+		t.Fatal("buffer not on HBM or wrong size")
+	}
+	if sys.Node(1).Used() != 4*gb {
+		t.Fatal("HBM usage not accounted")
+	}
+	if err := b.Free(); err != nil {
+		t.Fatal(err)
+	}
+	if sys.Node(1).Used() != 0 {
+		t.Fatal("free did not release")
+	}
+	if err := b.Free(); !errors.Is(err, ErrFreed) {
+		t.Fatalf("double free err = %v, want ErrFreed", err)
+	}
+}
+
+func TestAllocOnNodeNoSpace(t *testing.T) {
+	_, _, a := testSetup()
+	if _, err := a.AllocOnNode(17*gb, 1); !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("err = %v, want ErrNoSpace", err)
+	}
+}
+
+func TestPreferredOverflow(t *testing.T) {
+	_, _, a := testSetup()
+	// 20 GB preferred on 16 GB HBM: 16 on HBM, 4 overflow to DDR.
+	b, err := a.Alloc(20*gb, Preferred, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := b.BytesOn(1); got != 16*gb {
+		t.Fatalf("bytes on HBM = %d, want 16GB", got)
+	}
+	if got := b.BytesOn(0); got != 4*gb {
+		t.Fatalf("bytes on DDR = %d, want 4GB", got)
+	}
+	if b.OnNode(1) {
+		t.Fatal("split buffer claims single node")
+	}
+}
+
+func TestPreferredNoOverflowNeeded(t *testing.T) {
+	_, _, a := testSetup()
+	b, err := a.Alloc(8*gb, Preferred, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !b.OnNode(1) {
+		t.Fatal("should be entirely on HBM")
+	}
+}
+
+func TestPreferredTotallyFull(t *testing.T) {
+	_, _, a := testSetup()
+	if _, err := a.Alloc(200*gb, Preferred, 1); !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("err = %v, want ErrNoSpace", err)
+	}
+	// Failure must not leak reservations.
+	_, sys, _ := testSetup()
+	if sys.Node(0).Used() != 0 || sys.Node(1).Used() != 0 {
+		t.Fatal("failed alloc leaked reservations")
+	}
+}
+
+func TestInterleave(t *testing.T) {
+	_, sys, a := testSetup()
+	b, err := a.Alloc(8*gb, Interleave, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.BytesOn(0) != 4*gb || b.BytesOn(1) != 4*gb {
+		t.Fatalf("interleave split %d/%d, want 4GB/4GB", b.BytesOn(0), b.BytesOn(1))
+	}
+	b.Free()
+	if sys.Node(0).Used() != 0 || sys.Node(1).Used() != 0 {
+		t.Fatal("interleave free leaked")
+	}
+}
+
+func TestInterleaveSkewedWhenNodeFull(t *testing.T) {
+	_, _, a := testSetup()
+	// Fill HBM to 15 GB, then interleave 10 GB: HBM can only take 1.
+	pre, err := a.AllocOnNode(15*gb, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pre.Free()
+	b, err := a.Alloc(10*gb, Interleave, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.BytesOn(1) != 1*gb || b.BytesOn(0) != 9*gb {
+		t.Fatalf("skewed interleave %d HBM / %d DDR, want 1/9", b.BytesOn(1), b.BytesOn(0))
+	}
+}
+
+func TestMemcpyTime(t *testing.T) {
+	e, _, a := testSetup()
+	src, _ := a.AllocOnNode(10*gb, 0)
+	dst, _ := a.AllocOnNode(10*gb, 1)
+	var dur sim.Time
+	e.Spawn("cp", func(p *sim.Proc) {
+		d, err := a.Memcpy(p, dst, src)
+		if err != nil {
+			t.Error(err)
+		}
+		dur = d
+	})
+	e.RunAll()
+	want := 10.0 / 100.0 // DDR read 100 GB/s is the bottleneck
+	if math.Abs(dur-want) > 1e-9 {
+		t.Fatalf("memcpy took %v, want %v", dur, want)
+	}
+}
+
+func TestMemcpySizeMismatch(t *testing.T) {
+	e, _, a := testSetup()
+	src, _ := a.AllocOnNode(1*gb, 0)
+	dst, _ := a.AllocOnNode(2*gb, 1)
+	e.Spawn("cp", func(p *sim.Proc) {
+		if _, err := a.Memcpy(p, dst, src); err == nil {
+			t.Error("size mismatch not detected")
+		}
+	})
+	e.RunAll()
+}
+
+func TestMemcpyFreedBuffer(t *testing.T) {
+	e, _, a := testSetup()
+	src, _ := a.AllocOnNode(1*gb, 0)
+	dst, _ := a.AllocOnNode(1*gb, 1)
+	src.Free()
+	e.Spawn("cp", func(p *sim.Proc) {
+		if _, err := a.Memcpy(p, dst, src); !errors.Is(err, ErrFreed) {
+			t.Errorf("err = %v, want ErrFreed", err)
+		}
+	})
+	e.RunAll()
+}
+
+func TestMemcpySplitBuffers(t *testing.T) {
+	// A split source (overflowed Preferred alloc) copies correctly to
+	// a single-node destination.
+	e, _, a := testSetup()
+	fill, _ := a.AllocOnNode(14*gb, 1)
+	src, err := a.Alloc(4*gb, Preferred, 1) // 2GB HBM + 2GB DDR
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src.BytesOn(1) != 2*gb {
+		t.Fatalf("setup: src HBM bytes = %d", src.BytesOn(1))
+	}
+	fill.Free()
+	dst, _ := a.AllocOnNode(4*gb, 0)
+	var dur sim.Time
+	e.Spawn("cp", func(p *sim.Proc) {
+		d, err := a.Memcpy(p, dst, src)
+		if err != nil {
+			t.Error(err)
+		}
+		dur = d
+	})
+	e.RunAll()
+	// Two parallel 2GB flows; bottleneck DDR write 80 GB/s shared by
+	// both flows (HBM->DDR and DDR->DDR): 4GB / 80 GB/s = 0.05 s.
+	if math.Abs(dur-0.05) > 1e-9 {
+		t.Fatalf("split memcpy took %v, want 0.05", dur)
+	}
+}
+
+func TestMigrate(t *testing.T) {
+	e, sys, a := testSetup()
+	b, _ := a.AllocOnNode(8*gb, 0)
+	e.Spawn("mig", func(p *sim.Proc) {
+		d, err := a.Migrate(p, b, 1)
+		if err != nil {
+			t.Error(err)
+		}
+		if d <= 0 {
+			t.Error("migration took no time")
+		}
+	})
+	e.RunAll()
+	if !b.OnNode(1) {
+		t.Fatal("buffer not on HBM after migrate")
+	}
+	if sys.Node(0).Used() != 0 {
+		t.Fatal("migration did not free DDR")
+	}
+	if sys.Node(1).Used() != 8*gb {
+		t.Fatal("migration did not reserve HBM")
+	}
+	if a.MigrationCount != 1 || a.BytesMigrated != float64(8*gb) {
+		t.Fatalf("migration stats: count=%d bytes=%g", a.MigrationCount, a.BytesMigrated)
+	}
+}
+
+func TestMigrateNoopWhenAlreadyThere(t *testing.T) {
+	e, _, a := testSetup()
+	b, _ := a.AllocOnNode(1*gb, 1)
+	e.Spawn("mig", func(p *sim.Proc) {
+		d, err := a.Migrate(p, b, 1)
+		if err != nil || d != 0 {
+			t.Errorf("noop migrate: d=%v err=%v", d, err)
+		}
+	})
+	e.RunAll()
+}
+
+func TestMigrateNeedsTransientSpace(t *testing.T) {
+	// The paper's routine allocates destination space before copying:
+	// migrating 10 GB into HBM with only 8 GB free must fail.
+	e, _, a := testSetup()
+	fill, _ := a.AllocOnNode(8*gb, 1)
+	defer fill.Free()
+	b, _ := a.AllocOnNode(10*gb, 0)
+	e.Spawn("mig", func(p *sim.Proc) {
+		if _, err := a.Migrate(p, b, 1); !errors.Is(err, ErrNoSpace) {
+			t.Errorf("err = %v, want ErrNoSpace", err)
+		}
+	})
+	e.RunAll()
+	if !b.OnNode(0) {
+		t.Fatal("failed migration moved the buffer")
+	}
+}
+
+func TestMigrateFreedBuffer(t *testing.T) {
+	e, _, a := testSetup()
+	b, _ := a.AllocOnNode(1*gb, 0)
+	b.Free()
+	e.Spawn("mig", func(p *sim.Proc) {
+		if _, err := a.Migrate(p, b, 1); !errors.Is(err, ErrFreed) {
+			t.Errorf("err = %v, want ErrFreed", err)
+		}
+	})
+	e.RunAll()
+}
+
+func TestMemcpyRateCap(t *testing.T) {
+	e, _, a := testSetup()
+	a.MemcpyRateCap = 10 * float64(gb)
+	src, _ := a.AllocOnNode(10*gb, 0)
+	dst, _ := a.AllocOnNode(10*gb, 1)
+	var dur sim.Time
+	e.Spawn("cp", func(p *sim.Proc) {
+		dur, _ = a.Memcpy(p, dst, src)
+	})
+	e.RunAll()
+	if math.Abs(dur-1.0) > 1e-9 {
+		t.Fatalf("capped memcpy took %v, want 1.0", dur)
+	}
+}
+
+func TestAllocatorStats(t *testing.T) {
+	_, _, a := testSetup()
+	b1, _ := a.AllocOnNode(1*gb, 0)
+	b2, _ := a.Alloc(1*gb, Preferred, 1)
+	if a.LiveBuffers != 2 || a.TotalAllocs != 2 {
+		t.Fatalf("live=%d allocs=%d", a.LiveBuffers, a.TotalAllocs)
+	}
+	b1.Free()
+	b2.Free()
+	if a.LiveBuffers != 0 || a.TotalFrees != 2 {
+		t.Fatalf("live=%d frees=%d", a.LiveBuffers, a.TotalFrees)
+	}
+}
+
+func TestAllocUnknownPolicy(t *testing.T) {
+	_, _, a := testSetup()
+	if _, err := a.Alloc(1, Policy(42), 0); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+}
+
+func TestMigrateOpCostCharged(t *testing.T) {
+	e, _, a := testSetup()
+	a.MigrateOpCost = 0.5
+	b, _ := a.AllocOnNode(1*gb, 0)
+	var dur sim.Time
+	e.Spawn("m", func(p *sim.Proc) {
+		d, err := a.Migrate(p, b, 1)
+		if err != nil {
+			t.Error(err)
+		}
+		dur = d
+	})
+	e.RunAll()
+	// 1 GB at 100 GB/s = 0.01 s copy + 0.5 s fixed cost.
+	if dur < 0.5 || dur > 0.52 {
+		t.Fatalf("migration with op cost took %v, want ~0.51", dur)
+	}
+}

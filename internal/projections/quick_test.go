@@ -1,0 +1,105 @@
+package projections
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"github.com/hetmem/hetmem/internal/sim"
+)
+
+// spanSet is a random batch of spans for property tests.
+type spanSet struct{ spans []Span }
+
+// Generate implements quick.Generator.
+func (spanSet) Generate(r *rand.Rand, size int) reflect.Value {
+	n := r.Intn(40)
+	s := spanSet{}
+	for i := 0; i < n; i++ {
+		start := sim.Time(r.Intn(1000)) / 10
+		s.spans = append(s.spans, Span{
+			PE:    r.Intn(6),
+			Start: start,
+			End:   start + sim.Time(1+r.Intn(100))/10,
+			Cat:   Category(r.Intn(int(numCategories))),
+		})
+	}
+	return reflect.ValueOf(s)
+}
+
+// TestQuickSummarizeConservation: the summary's per-category totals
+// equal the sum of the recorded span durations, the per-PE totals sum
+// to the grand totals, and the window covers every span.
+func TestQuickSummarizeConservation(t *testing.T) {
+	check := func(set spanSet) bool {
+		e := sim.NewEngine(1)
+		tr := NewTracer(e, 1)
+		want := make(map[Category]sim.Time)
+		for _, sp := range set.spans {
+			tr.Add(sp.PE, sp.Start, sp.End, sp.Cat, "")
+			want[sp.Cat] += sp.End - sp.Start
+		}
+		sum := tr.Summarize()
+		for c, w := range want {
+			if diff := sum.Totals[c] - w; diff > 1e-9 || diff < -1e-9 {
+				return false
+			}
+		}
+		perPE := make(map[Category]sim.Time)
+		for _, m := range sum.PerPE {
+			for c, v := range m {
+				perPE[c] += v
+			}
+		}
+		for c, w := range sum.Totals {
+			if diff := perPE[c] - w; diff > 1e-9 || diff < -1e-9 {
+				return false
+			}
+		}
+		for _, sp := range set.spans {
+			if sp.Start < sum.Start || sp.End > sum.End {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickFractionsBounded: every category fraction lies in [0,1]
+// when spans do not overlap within a lane, and utilization plus
+// non-compute categories never exceed the number of lanes.
+func TestQuickFractionsBounded(t *testing.T) {
+	check := func(raw []uint8) bool {
+		e := sim.NewEngine(1)
+		tr := NewTracer(e, 1)
+		// Build non-overlapping spans per lane.
+		var cursor [4]sim.Time
+		for i, r := range raw {
+			lane := i % 4
+			d := sim.Time(1+int(r)%50) / 10
+			tr.Add(lane, cursor[lane], cursor[lane]+d, Category(int(r)%int(numCategories)), "")
+			cursor[lane] += d
+		}
+		sum := tr.Summarize()
+		lanes := tr.Lanes()
+		if lanes == 0 {
+			return true
+		}
+		var total float64
+		for _, c := range Categories() {
+			f := sum.Fraction(c, lanes)
+			if f < 0 || f > 1+1e-9 {
+				return false
+			}
+			total += f
+		}
+		return total <= 1+1e-9
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,278 @@
+// Package sim implements a deterministic discrete-event simulation engine
+// with coroutine-style processes and virtual-time synchronisation
+// primitives (Mutex, Cond, Semaphore, WaitGroup).
+//
+// The engine executes exactly one process at a time and orders
+// same-timestamp events by insertion sequence, so a simulation run is a
+// pure function of its inputs: re-running any experiment yields identical
+// numbers. This is the substrate on which the heterogeneous-memory model
+// (internal/memsim), the Charm-like runtime (internal/charm) and the
+// prefetch/evict strategies (internal/core) execute.
+//
+// Processes are real goroutines, but control is handed off one at a time
+// through channels: the engine resumes a process, the process runs until
+// it parks (Sleep, lock wait, condition wait, ...) and control returns to
+// the engine. No two processes ever run concurrently, so simulation state
+// needs no host-level locking.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Time is a point in virtual time, in seconds. Durations are plain
+// float64 seconds as well.
+type Time = float64
+
+// Infinity is a time later than any event the engine will ever execute.
+const Infinity Time = math.MaxFloat64
+
+// event is a scheduled callback. Events with equal timestamps fire in
+// insertion (seq) order, which is what makes runs deterministic.
+type event struct {
+	t    Time
+	seq  int64
+	fn   func()
+	dead bool // cancelled
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event simulation engine. The zero value is not
+// usable; create one with NewEngine.
+type Engine struct {
+	now     Time
+	seq     int64
+	events  eventHeap
+	handoff chan struct{} // procs signal the engine here when they park or exit
+	current *Proc
+	procs   map[int]*Proc
+	nextPID int
+	rng     *rand.Rand
+	failure interface{} // panic value propagated out of a process
+	nlive   int         // processes spawned and not yet finished
+}
+
+// NewEngine returns an engine with virtual time 0 and a deterministic
+// random source seeded with seed.
+func NewEngine(seed int64) *Engine {
+	return &Engine{
+		handoff: make(chan struct{}),
+		procs:   make(map[int]*Proc),
+		rng:     rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Now returns the current virtual time in seconds.
+func (e *Engine) Now() Time { return e.now }
+
+// Rand returns the engine's deterministic random source.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// Schedule registers fn to run at absolute virtual time t. Scheduling in
+// the past is an error and panics (it would break causality). The
+// returned handle can cancel the event before it fires.
+func (e *Engine) Schedule(t Time, fn func()) *EventHandle {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	ev := &event{t: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.events, ev)
+	return &EventHandle{ev: ev}
+}
+
+// After registers fn to run d seconds from now.
+func (e *Engine) After(d Time, fn func()) *EventHandle {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return e.Schedule(e.now+d, fn)
+}
+
+// EventHandle allows cancelling a scheduled event.
+type EventHandle struct{ ev *event }
+
+// Cancel prevents the event from firing. Cancelling an already-fired or
+// already-cancelled event is a no-op.
+func (h *EventHandle) Cancel() {
+	if h != nil && h.ev != nil {
+		h.ev.dead = true
+	}
+}
+
+// Cancelled reports whether the event was cancelled before firing.
+func (h *EventHandle) Cancelled() bool { return h == nil || h.ev == nil || h.ev.dead }
+
+// Spawn creates a process executing body and schedules it to start at the
+// current virtual time. The returned Proc is also passed to body.
+func (e *Engine) Spawn(name string, body func(p *Proc)) *Proc {
+	p := &Proc{
+		e:      e,
+		id:     e.nextPID,
+		name:   name,
+		resume: make(chan struct{}),
+	}
+	e.nextPID++
+	e.procs[p.id] = p
+	e.nlive++
+	go func() {
+		defer func() {
+			p.done = true
+			e.nlive--
+			delete(e.procs, p.id)
+			if r := recover(); r != nil && r != errKilled {
+				e.failure = procPanic{proc: p.name, value: r}
+			}
+			e.handoff <- struct{}{}
+		}()
+		<-p.resume // wait for the engine's first grant
+		if p.killed {
+			panic(errKilled)
+		}
+		body(p)
+	}()
+	e.Schedule(e.now, func() { e.grant(p) })
+	return p
+}
+
+// procPanic wraps a panic raised inside a process so Run can re-panic
+// with attribution.
+type procPanic struct {
+	proc  string
+	value interface{}
+}
+
+func (pp procPanic) String() string {
+	return fmt.Sprintf("sim: process %q panicked: %v", pp.proc, pp.value)
+}
+
+// grant hands control to p and blocks until p parks or exits. It must
+// only be called from the engine loop (inside an event callback).
+func (e *Engine) grant(p *Proc) {
+	if p.done {
+		return
+	}
+	prev := e.current
+	e.current = p
+	p.waking = false
+	p.resume <- struct{}{}
+	<-e.handoff
+	e.current = prev
+	if e.failure != nil {
+		f := e.failure.(procPanic)
+		e.failure = nil
+		panic(f.String())
+	}
+}
+
+// wake schedules p to resume at the current time. It is idempotent while
+// the wake is pending: waking an already-waking process is a no-op, which
+// lets Signal/Broadcast and timeouts race safely.
+func (e *Engine) wake(p *Proc) {
+	if p.done || p.waking {
+		return
+	}
+	p.waking = true
+	e.Schedule(e.now, func() { e.grant(p) })
+}
+
+// WakeAt schedules p to resume at absolute time t (used for timeouts).
+func (e *Engine) wakeAt(t Time, p *Proc) *EventHandle {
+	return e.Schedule(t, func() {
+		if p.done || p.waking {
+			return
+		}
+		p.waking = true
+		e.grant(p)
+	})
+}
+
+// Run executes events until the event queue is empty or the virtual
+// clock would pass until. It returns the virtual time at which it
+// stopped. Processes still blocked when the queue drains are left parked
+// (a subsequent Schedule/wake can revive them); call Close to reap them.
+func (e *Engine) Run(until Time) Time {
+	for len(e.events) > 0 {
+		ev := e.events[0]
+		if ev.t > until {
+			break
+		}
+		heap.Pop(&e.events)
+		if ev.dead {
+			continue
+		}
+		if ev.t < e.now {
+			panic("sim: event time went backwards")
+		}
+		e.now = ev.t
+		ev.fn()
+	}
+	return e.now
+}
+
+// RunAll executes events until the queue is empty.
+func (e *Engine) RunAll() Time { return e.Run(Infinity) }
+
+// Idle reports whether no events are pending.
+func (e *Engine) Idle() bool { return len(e.events) == 0 }
+
+// LiveProcs returns the number of processes that have been spawned and
+// have not finished. After RunAll, a non-zero value with an empty event
+// queue indicates blocked (potentially deadlocked) processes.
+func (e *Engine) LiveProcs() int { return e.nlive }
+
+// BlockedProcNames returns the names of processes that are still alive
+// (parked) — useful in deadlock diagnostics and tests.
+func (e *Engine) BlockedProcNames() []string {
+	names := make([]string, 0, len(e.procs))
+	for _, p := range e.procs {
+		if !p.done {
+			names = append(names, p.name)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Close kills all still-parked processes so their goroutines exit. The
+// engine must not be used afterwards.
+func (e *Engine) Close() {
+	for {
+		var victim *Proc
+		for _, p := range e.procs {
+			if !p.done {
+				victim = p
+				break
+			}
+		}
+		if victim == nil {
+			return
+		}
+		victim.killed = true
+		victim.resume <- struct{}{}
+		<-e.handoff
+	}
+}

@@ -1,0 +1,107 @@
+package stream
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/hetmem/hetmem/internal/topology"
+)
+
+func TestKernelsCanonical(t *testing.T) {
+	ks := Kernels()
+	if len(ks) != 4 {
+		t.Fatalf("got %d kernels", len(ks))
+	}
+	names := []string{"Copy", "Scale", "Add", "Triad"}
+	for i, k := range ks {
+		if k.Name != names[i] {
+			t.Fatalf("kernel %d = %s, want %s", i, k.Name, names[i])
+		}
+		if k.Writes != 1 {
+			t.Fatalf("%s writes %d arrays", k.Name, k.Writes)
+		}
+	}
+	if ks[0].Reads != 1 || ks[2].Reads != 2 || ks[3].Reads != 2 {
+		t.Fatal("read array counts wrong")
+	}
+}
+
+func TestMeasureValidation(t *testing.T) {
+	if _, err := Measure(topology.KNL7250(), 0, 0, 1); err == nil {
+		t.Fatal("zero threads accepted")
+	}
+	if _, err := Measure(topology.KNL7250(), 0, 1, 0); err == nil {
+		t.Fatal("zero array accepted")
+	}
+}
+
+func TestFig1Shape(t *testing.T) {
+	spec := topology.KNL7250()
+	const arr = 256 * 1024 * 1024
+	ddr, err := Measure(spec, topology.DDRNodeID, 64, arr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hbm, err := Measure(spec, topology.HBMNodeID, 64, arr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ddr {
+		ratio := hbm[i].Bandwidth / ddr[i].Bandwidth
+		if ratio < 4.0 {
+			t.Errorf("%s: MCDRAM/DDR4 ratio %.2f, want > 4 (paper: 'over 4X')", ddr[i].Kernel, ratio)
+		}
+		// Absolute sanity: DDR in the tens of GB/s, MCDRAM in the
+		// hundreds.
+		if bw := ddr[i].Bandwidth / topology.GBf; bw < 50 || bw > 120 {
+			t.Errorf("%s DDR bandwidth %.1f GB/s out of plausible range", ddr[i].Kernel, bw)
+		}
+		if bw := hbm[i].Bandwidth / topology.GBf; bw < 300 || bw > 500 {
+			t.Errorf("%s MCDRAM bandwidth %.1f GB/s out of plausible range", hbm[i].Kernel, bw)
+		}
+	}
+}
+
+func TestSingleThreadCoreBound(t *testing.T) {
+	// One thread cannot exceed ~2x the core stream rate (read+write
+	// overlap), regardless of the node's aggregate bandwidth.
+	spec := topology.KNL7250()
+	res, err := Measure(spec, topology.HBMNodeID, 1, 64*1024*1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res {
+		if r.Bandwidth > 2.1*spec.CoreStreamBW {
+			t.Errorf("%s single-thread bandwidth %.1f GB/s exceeds core capability", r.Kernel, r.Bandwidth/topology.GBf)
+		}
+	}
+}
+
+func TestBandwidthScalesWithThreads(t *testing.T) {
+	spec := topology.KNL7250()
+	one, _ := Measure(spec, topology.DDRNodeID, 1, 64*1024*1024)
+	many, _ := Measure(spec, topology.DDRNodeID, 64, 64*1024*1024)
+	if many[3].Bandwidth < 3*one[3].Bandwidth {
+		t.Fatalf("triad did not scale: 1 thread %.1f, 64 threads %.1f GB/s",
+			one[3].Bandwidth/topology.GBf, many[3].Bandwidth/topology.GBf)
+	}
+}
+
+func TestResultString(t *testing.T) {
+	r := Result{Kernel: "Triad", Node: "MCDRAM", Threads: 64, Bandwidth: 450 * topology.GBf}
+	s := r.String()
+	if !strings.Contains(s, "Triad") || !strings.Contains(s, "450.0 GB/s") {
+		t.Fatalf("row = %q", s)
+	}
+}
+
+func TestDeterministicMeasurement(t *testing.T) {
+	spec := topology.KNL7250()
+	a, _ := Measure(spec, topology.DDRNodeID, 16, 64*1024*1024)
+	b, _ := Measure(spec, topology.DDRNodeID, 16, 64*1024*1024)
+	for i := range a {
+		if a[i].Bandwidth != b[i].Bandwidth {
+			t.Fatalf("kernel %s nondeterministic", a[i].Kernel)
+		}
+	}
+}

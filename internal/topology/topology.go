@@ -1,0 +1,311 @@
+// Package topology describes the node architecture the runtime executes
+// on: core count, tiles, SMT, the heterogeneous memory nodes and the
+// KNL-style memory and cluster modes. A MachineSpec is a pure
+// description; Build instantiates it as a memsim.System plus a
+// numa.Allocator on a simulation engine.
+//
+// The KNL7250 preset encodes the machine used in the paper's
+// evaluation: an Intel Xeon Phi Knights Landing node from Stampede 2.0
+// in Flat / All-to-All mode — 68 cores (4-way SMT, 272 hardware
+// threads), 34 L2 tiles, 16 GB MCDRAM, 96 GB DDR4, MCDRAM bandwidth
+// about 4x DDR4.
+package topology
+
+import (
+	"fmt"
+
+	"github.com/hetmem/hetmem/internal/memsim"
+	"github.com/hetmem/hetmem/internal/numa"
+	"github.com/hetmem/hetmem/internal/sim"
+)
+
+// GB is one gibibyte in bytes, the unit the paper reports capacities in.
+const GB = int64(1) << 30
+
+// GBf is GB as a float64, for bandwidth arithmetic.
+const GBf = float64(GB)
+
+// MemoryMode is the KNL MCDRAM configuration.
+type MemoryMode int
+
+const (
+	// Flat exposes MCDRAM and DDR4 as separate memory nodes (the mode
+	// the paper evaluates: programmer-controlled placement).
+	Flat MemoryMode = iota
+	// Cache configures MCDRAM as a direct-mapped cache in front of
+	// DDR4 (modelled by internal/cachemode).
+	Cache
+	// Hybrid splits MCDRAM between a flat portion and a cache portion.
+	Hybrid
+)
+
+// String names the mode as KNL documentation does.
+func (m MemoryMode) String() string {
+	switch m {
+	case Flat:
+		return "flat"
+	case Cache:
+		return "cache"
+	case Hybrid:
+		return "hybrid"
+	default:
+		return fmt.Sprintf("MemoryMode(%d)", int(m))
+	}
+}
+
+// ClusterMode is the KNL on-die mesh affinity configuration.
+type ClusterMode int
+
+const (
+	// AllToAll distributes memory addresses uniformly across all tag
+	// directories. It has the largest impact on (i.e. lowest) memory
+	// bandwidth; the paper uses it to stress heterogeneity.
+	AllToAll ClusterMode = iota
+	// Quadrant localises tag directories to the quadrant owning the
+	// memory controller, yielding slightly higher bandwidth.
+	Quadrant
+	// SNC4 exposes quadrants as NUMA domains (not used by the paper;
+	// provided for completeness).
+	SNC4
+)
+
+// String names the mode.
+func (c ClusterMode) String() string {
+	switch c {
+	case AllToAll:
+		return "all-to-all"
+	case Quadrant:
+		return "quadrant"
+	case SNC4:
+		return "snc-4"
+	default:
+		return fmt.Sprintf("ClusterMode(%d)", int(c))
+	}
+}
+
+// bandwidthFactor scales nominal (quadrant) bandwidth for the cluster
+// mode. Calibrated from Rosales et al. [12]: all-to-all loses a few
+// percent versus quadrant.
+func (c ClusterMode) bandwidthFactor() float64 {
+	switch c {
+	case AllToAll:
+		return 0.93
+	case Quadrant:
+		return 1.0
+	case SNC4:
+		return 1.02
+	default:
+		return 1.0
+	}
+}
+
+// MachineSpec describes a many-core node with heterogeneous memory.
+type MachineSpec struct {
+	Name string
+
+	// Cores is the number of physical cores; SMTWays the hardware
+	// threads per core; TilesL2 the number of shared L2 tiles.
+	Cores   int
+	SMTWays int
+	TilesL2 int
+
+	// HBM (near/fast memory) parameters. Bandwidths are nominal
+	// quadrant-mode aggregates in bytes/second; TotalBW is the shared
+	// bus limit for mixed read/write traffic (what STREAM measures).
+	HBMCap     int64
+	HBMReadBW  float64
+	HBMWriteBW float64
+	HBMTotalBW float64
+	HBMLatency sim.Time
+
+	// DDR (far/slow memory) parameters. FarKind lets the same slot
+	// describe an NVM tier instead (the paper's extension target:
+	// "architectures with heterogeneity in both latency and bandwidth
+	// would benefit even more"); zero value means DDR.
+	DDRCap     int64
+	DDRReadBW  float64
+	DDRWriteBW float64
+	DDRTotalBW float64
+	DDRLatency sim.Time
+	FarKind    memsim.NodeKind
+
+	// CoreStreamBW is the maximum bandwidth a single core can draw
+	// from any memory node, in bytes/second: the per-flow rate cap.
+	CoreStreamBW float64
+
+	// MemcpyBW is the rate one thread sustains copying data between
+	// memory nodes (the migration memcpy of Fig. 7). It is well below
+	// CoreStreamBW on KNL: the copy loop alternates loads and stores
+	// across two memory controllers from a single weak core.
+	MemcpyBW float64
+
+	// MigrationOpCost is the fixed per-block cost of one migration
+	// beyond the memcpy itself: numa_alloc_onnode (mmap), first-touch
+	// page faults on the destination, numa_free, and runtime
+	// bookkeeping. The paper's Fig. 7 deliberately measures only "the
+	// main step performed as part of the data migration routine,
+	// memcpy"; this constant is the rest of that routine. It is what
+	// makes many-small-block workloads (Stencil3D) expensive for a
+	// single IO thread while few-large-block workloads (MatMul)
+	// amortise it — the contrast between Figs. 8 and 9.
+	MigrationOpCost sim.Time
+
+	// CoreFlops is a core's sustained double-precision rate with
+	// vectorisation, in flop/s — the compute roof of the roofline
+	// model used by kernels.
+	CoreFlops float64
+
+	MemoryMode  MemoryMode
+	ClusterMode ClusterMode
+
+	// HybridCacheFraction is the MCDRAM share configured as cache in
+	// Hybrid mode (typically 0.25 or 0.5).
+	HybridCacheFraction float64
+}
+
+// KNL7250 returns the machine used in the paper's evaluation, in Flat /
+// All-to-All mode. Bandwidth figures follow the paper's STREAM
+// measurements (Fig. 1: MCDRAM over 4x DDR4) and public KNL data:
+// MCDRAM ~ 450 GB/s read, DDR4 ~ 90 GB/s, 6:1 capacity ratio.
+func KNL7250() MachineSpec {
+	return MachineSpec{
+		Name:    "Intel Xeon Phi 7250 (KNL)",
+		Cores:   68,
+		SMTWays: 4,
+		TilesL2: 34,
+
+		HBMCap:     16 * GB,
+		HBMReadBW:  450 * GBf,
+		HBMWriteBW: 385 * GBf,
+		HBMTotalBW: 465 * GBf,
+		HBMLatency: 0, // comparable latency to DDR4; only bandwidth differs
+
+		DDRCap:     96 * GB,
+		DDRReadBW:  95 * GBf,
+		DDRWriteBW: 80 * GBf,
+		DDRTotalBW: 90 * GBf,
+		DDRLatency: 0,
+
+		CoreStreamBW:    11 * GBf, // single-core sustainable stream rate
+		MemcpyBW:        8 * GBf,  // single-thread inter-node copy rate
+		MigrationOpCost: 6e-3,     // alloc + page faults + free per block
+		CoreFlops:       22e9,     // ~1.4 GHz x 8 DP lanes x 2 FMA
+
+		MemoryMode:  Flat,
+		ClusterMode: AllToAll,
+	}
+}
+
+// Validate reports configuration errors.
+func (s MachineSpec) Validate() error {
+	switch {
+	case s.Cores <= 0:
+		return fmt.Errorf("topology: %q has no cores", s.Name)
+	case s.SMTWays <= 0:
+		return fmt.Errorf("topology: %q has SMTWays %d", s.Name, s.SMTWays)
+	case s.HBMCap <= 0 || s.DDRCap <= 0:
+		return fmt.Errorf("topology: %q has non-positive memory capacity", s.Name)
+	case s.HBMReadBW <= 0 || s.HBMWriteBW <= 0 || s.DDRReadBW <= 0 || s.DDRWriteBW <= 0:
+		return fmt.Errorf("topology: %q has non-positive bandwidth", s.Name)
+	case s.CoreStreamBW <= 0:
+		return fmt.Errorf("topology: %q has non-positive core stream bandwidth", s.Name)
+	case s.MemcpyBW <= 0:
+		return fmt.Errorf("topology: %q has non-positive memcpy bandwidth", s.Name)
+	case s.MigrationOpCost < 0:
+		return fmt.Errorf("topology: %q has negative migration op cost", s.Name)
+	case s.CoreFlops <= 0:
+		return fmt.Errorf("topology: %q has non-positive core flops", s.Name)
+	case s.MemoryMode == Hybrid && (s.HybridCacheFraction <= 0 || s.HybridCacheFraction >= 1):
+		return fmt.Errorf("topology: hybrid mode needs cache fraction in (0,1), got %v", s.HybridCacheFraction)
+	}
+	return nil
+}
+
+// HardwareThreads returns cores x SMT ways.
+func (s MachineSpec) HardwareThreads() int { return s.Cores * s.SMTWays }
+
+// Machine is an instantiated MachineSpec: memory system + allocator on
+// an engine. Node ids follow the paper: DDR is node 0, HBM node 1.
+type Machine struct {
+	Spec  MachineSpec
+	Eng   *sim.Engine
+	Mem   *memsim.System
+	Alloc *numa.Allocator
+}
+
+// DDRNodeID and HBMNodeID are the flat-mode KNL node numbers.
+const (
+	DDRNodeID = 0
+	HBMNodeID = 1
+)
+
+// Build instantiates the machine on e. In Cache mode the HBM node is
+// still created (the cache model draws on its bandwidth) but callers
+// should not allocate on it directly. In Hybrid mode the HBM node
+// capacity is reduced by the cache fraction.
+func (s MachineSpec) Build(e *sim.Engine) (*Machine, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	f := s.ClusterMode.bandwidthFactor()
+	hbmCap := s.HBMCap
+	if s.MemoryMode == Hybrid {
+		hbmCap = int64(float64(hbmCap) * (1 - s.HybridCacheFraction))
+	}
+	mem := memsim.NewSystem(e, []memsim.NodeSpec{
+		{
+			Name: farName(s.FarKind), Kind: s.FarKind, Cap: s.DDRCap,
+			ReadBW: s.DDRReadBW * f, WriteBW: s.DDRWriteBW * f,
+			TotalBW: s.DDRTotalBW * f, Latency: s.DDRLatency,
+		},
+		{
+			Name: "MCDRAM", Kind: memsim.HBM, Cap: hbmCap,
+			ReadBW: s.HBMReadBW * f, WriteBW: s.HBMWriteBW * f,
+			TotalBW: s.HBMTotalBW * f, Latency: s.HBMLatency,
+		},
+	})
+	return &Machine{Spec: s, Eng: e, Mem: mem, Alloc: numa.New(mem)}, nil
+}
+
+// MustBuild is Build panicking on error, for presets known to be valid.
+func (s MachineSpec) MustBuild(e *sim.Engine) *Machine {
+	m, err := s.Build(e)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// farName labels the far-memory node by its kind.
+func farName(k memsim.NodeKind) string {
+	if k == memsim.NVM {
+		return "NVM"
+	}
+	return "DDR4"
+}
+
+// KNLWithNVM returns the KNL preset with the far memory replaced by an
+// NVM tier: larger, with roughly a third of DDR4's bandwidth, a
+// read/write asymmetry typical of persistent memory, and microsecond
+// access latency — the paper's "both latency and bandwidth restricted"
+// slow memory ([9], [10]).
+func KNLWithNVM() MachineSpec {
+	s := KNL7250()
+	s.Name = "Intel Xeon Phi 7250 (KNL) + NVM far memory"
+	s.FarKind = memsim.NVM
+	s.DDRCap = 384 * GB
+	s.DDRReadBW = 32 * GBf
+	s.DDRWriteBW = 12 * GBf
+	s.DDRTotalBW = 34 * GBf
+	s.DDRLatency = 1.5e-6
+	return s
+}
+
+// DDR returns the far-memory node (DDR4 or NVM, per FarKind).
+func (m *Machine) DDR() *memsim.Node { return m.Mem.Node(DDRNodeID) }
+
+// Far is an alias for DDR that reads better for NVM machines.
+func (m *Machine) Far() *memsim.Node { return m.DDR() }
+
+// HBM returns the near-memory node.
+func (m *Machine) HBM() *memsim.Node { return m.Mem.Node(HBMNodeID) }
