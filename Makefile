@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: ci vet build test race audit bench
+
+# ci is the gate: static checks, build, race-enabled tests, and the
+# audit-enabled figure sweep (every simulated run carries the invariant
+# auditor; any conservation violation fails the target).
+ci: vet build race audit
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+audit:
+	$(GO) run ./cmd/hmrepro -scale small -audit > /dev/null
+
+bench:
+	$(GO) test -bench=. -benchmem ./internal/exp/

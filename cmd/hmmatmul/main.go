@@ -5,9 +5,11 @@
 //
 //	hmmatmul -fig 9 [-scale full|small]       # strategy sweep (Fig 9)
 //	hmmatmul -mode single -total 54           # one run, size in GB
+//	hmmatmul -mode multi -total 24 -audit     # with invariant audit + JSON metrics
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -25,6 +27,7 @@ func main() {
 	modeName := flag.String("mode", "multi", "strategy: ddr, naive, single, no, multi")
 	total := flag.Int64("total", 24, "total working set in GB (A+B+C)")
 	grid := flag.Int("grid", 16, "block grid side G")
+	auditOn := flag.Bool("audit", false, "enable the invariant auditor and print a JSON metrics snapshot")
 	flag.Parse()
 
 	scale := exp.Full
@@ -46,10 +49,12 @@ func main() {
 	cfg := kernels.DefaultMatMulConfig()
 	cfg.TotalBytes = *total << 30
 	cfg.Grid = *grid
+	opts := core.DefaultOptions(mode)
+	opts.Audit = *auditOn
 	env := kernels.NewEnv(kernels.EnvConfig{
 		Spec:   exp.Full.Machine(),
 		NumPEs: cfg.NumPEs,
-		Opts:   core.DefaultOptions(mode),
+		Opts:   opts,
 	})
 	defer env.Close()
 	app, err := kernels.NewMatMul(env.MG, cfg)
@@ -65,6 +70,17 @@ func main() {
 	fmt.Printf("  total time %8.3f s\n", t)
 	fmt.Printf("  fetches    %8d (%.1f GB)\n", st.Fetches, st.BytesFetched/float64(1<<30))
 	fmt.Printf("  evictions  %8d (%.1f GB)\n", st.Evictions, st.BytesEvicted/float64(1<<30))
+	if snap, ok := env.MG.AuditSnapshot(); ok {
+		snap.Label = fmt.Sprintf("matmul %s %dGB", mode, *total)
+		out, err := json.MarshalIndent(snap, "", "  ")
+		if err != nil {
+			log.Fatalf("marshal audit snapshot: %v", err)
+		}
+		fmt.Printf("audit: %s\n", out)
+		if snap.ViolationCount > 0 {
+			log.Fatalf("audit: %d invariant violation(s) detected", snap.ViolationCount)
+		}
+	}
 }
 
 func parseMode(name string) (core.Mode, error) {

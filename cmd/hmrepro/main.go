@@ -4,10 +4,17 @@
 //
 // Usage:
 //
-//	hmrepro [-scale full|small] [-skip-ext]
+//	hmrepro [-scale full|small] [-skip-ext] [-audit]
+//
+// With -audit every simulated run carries the invariant auditor from
+// internal/audit: conservation laws are checked continuously, the
+// watchdog reports silent stalls, and one JSON metrics snapshot per run
+// is printed after each figure. Any invariant violation makes the
+// command exit nonzero.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -22,11 +29,15 @@ func main() {
 	log.SetPrefix("hmrepro: ")
 	scaleName := flag.String("scale", "full", "experiment scale: full (paper sizes) or small (1/8 slice)")
 	skipExt := flag.Bool("skip-ext", false, "skip the extension experiments X1-X4")
+	auditOn := flag.Bool("audit", false, "enable the invariant auditor and print JSON metrics per run")
 	flag.Parse()
 
 	scale, err := parseScale(*scaleName)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *auditOn {
+		exp.SetAudit(true)
 	}
 
 	type figure struct {
@@ -55,6 +66,7 @@ func main() {
 	}
 
 	fmt.Printf("hetmem reproduction — %s scale\n\n", scale)
+	var totalViolations int64
 	for _, f := range figures {
 		start := time.Now()
 		t, err := f.run()
@@ -62,8 +74,32 @@ func main() {
 			log.Fatalf("%s: %v", f.name, err)
 		}
 		fmt.Println(t)
+		if *auditOn {
+			totalViolations += reportAudit(f.name)
+		}
 		fmt.Fprintf(os.Stderr, "[%s done in %v]\n", f.name, time.Since(start).Round(time.Millisecond))
 	}
+	if totalViolations > 0 {
+		log.Fatalf("audit: %d invariant violation(s) detected", totalViolations)
+	}
+}
+
+// reportAudit drains the snapshots produced while a figure ran, prints
+// them as JSON and returns the violation count.
+func reportAudit(figure string) int64 {
+	snaps, violations := exp.DrainAudit()
+	for i := range snaps {
+		snaps[i].Label = fmt.Sprintf("%s run %d", figure, i)
+	}
+	out, err := json.MarshalIndent(snaps, "", "  ")
+	if err != nil {
+		log.Fatalf("%s: marshal audit snapshots: %v", figure, err)
+	}
+	fmt.Printf("audit[%s]: %s\n\n", figure, out)
+	if violations > 0 {
+		fmt.Fprintf(os.Stderr, "[%s: %d invariant violation(s)]\n", figure, violations)
+	}
+	return violations
 }
 
 // tabler is any experiment result with a Table.

@@ -1,0 +1,507 @@
+// Package audit implements the opt-in invariant-audit and metrics layer
+// for the staging protocol. It keeps a shadow ledger of every HBM
+// reservation, pin, claim and pending-use the OOC layer reports, checks
+// the conservation invariants continuously (reserved + resident never
+// exceeds the HBM budget, the ledger never goes negative, the shadow
+// reservation counter always matches the manager's), and exports
+// structured metrics snapshots as JSON.
+//
+// The auditor is nil-safe: every recording method on a nil *Auditor is
+// a no-op, so the hot paths in internal/core carry a single pointer
+// check when auditing is disabled.
+//
+// The watchdog half lives in the caller: internal/core registers an
+// engine quiesce hook that, when the event queue drains with staged
+// work still parked in wait queues, files a StallReport here naming the
+// stuck tasks and their blocking handles — turning a silent starvation
+// hang into a diagnostic instead of a test timeout.
+package audit
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/hetmem/hetmem/internal/sim"
+)
+
+// Probe is a point-in-time reading of the runtime counters under audit,
+// supplied by the owner (the core.Manager) so the auditor can
+// cross-check its shadow ledger against the real state.
+type Probe struct {
+	// HBMUsed is the bytes currently allocated on the HBM node.
+	HBMUsed int64
+	// Reserved is the manager's outstanding staging reservation.
+	Reserved int64
+}
+
+// Config parameterises an Auditor.
+type Config struct {
+	// Budget is the HBM bytes available to data blocks (capacity minus
+	// the reserve headroom).
+	Budget int64
+	// Queues is the number of wait queues / PEs to track depth peaks
+	// for.
+	Queues int
+	// Probe reads the live counters; required for capacity checks.
+	Probe func() Probe
+	// MaxViolations caps the stored violation list (default 64); the
+	// total count keeps incrementing past the cap.
+	MaxViolations int
+}
+
+// Violation is one detected invariant breach, stamped with the virtual
+// time at which it was observed.
+type Violation struct {
+	Time   float64 `json:"time_s"`
+	Rule   string  `json:"rule"`
+	Detail string  `json:"detail"`
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("[t=%.6f] %s: %s", v.Time, v.Rule, v.Detail)
+}
+
+// Histogram is a fixed-bucket histogram of virtual-time durations in
+// seconds. Counts has one entry per bound plus a final overflow bucket.
+type Histogram struct {
+	Bounds []float64 `json:"bounds_s"`
+	Counts []int64   `json:"counts"`
+	N      int64     `json:"n"`
+	Sum    float64   `json:"sum_s"`
+	Max    float64   `json:"max_s"`
+}
+
+// newDurationHist covers microseconds to hundreds of seconds, decade
+// buckets — fetch/evict times span this range across scales.
+func newDurationHist() Histogram {
+	bounds := []float64{1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1, 10, 100}
+	return Histogram{Bounds: bounds, Counts: make([]int64, len(bounds)+1)}
+}
+
+func (h *Histogram) observe(d float64) {
+	i := sort.SearchFloat64s(h.Bounds, d)
+	h.Counts[i]++
+	h.N++
+	h.Sum += d
+	if d > h.Max {
+		h.Max = d
+	}
+}
+
+// StuckTask describes one task parked in a wait queue at quiescence.
+type StuckTask struct {
+	Task  string      `json:"task"`
+	PE    int         `json:"pe"`
+	Queue int         `json:"queue"`
+	Deps  []BlockInfo `json:"deps"`
+}
+
+// BlockInfo is the audit view of a data block a stuck task is waiting
+// on.
+type BlockInfo struct {
+	Name        string `json:"name"`
+	Size        int64  `json:"size_bytes"`
+	State       string `json:"state"`
+	Refs        int    `json:"refs"`
+	Claims      int    `json:"claims"`
+	PendingUses int    `json:"pending_uses"`
+}
+
+// StallReport is the watchdog's diagnostic for a silent hang: the event
+// queue drained while wait queues still held staged tasks.
+type StallReport struct {
+	Time         float64     `json:"time_s"`
+	BlockedProcs []string    `json:"blocked_procs"`
+	Stuck        []StuckTask `json:"stuck_tasks"`
+	PEQueueMsgs  []int       `json:"pe_msg_queue_depths"`
+	PEQueueRuns  []int       `json:"pe_run_queue_depths"`
+	HBMUsed      int64       `json:"hbm_used_bytes"`
+	Reserved     int64       `json:"reserved_bytes"`
+	Budget       int64       `json:"budget_bytes"`
+}
+
+// String renders the report for error messages and logs.
+func (r *StallReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "stall at t=%.6f: %d task(s) stuck, HBM used %d / budget %d, reserved %d\n",
+		r.Time, len(r.Stuck), r.HBMUsed, r.Budget, r.Reserved)
+	for _, st := range r.Stuck {
+		fmt.Fprintf(&b, "  %s (PE %d, queue %d) waiting on:\n", st.Task, st.PE, st.Queue)
+		for _, d := range st.Deps {
+			fmt.Fprintf(&b, "    %s: %d bytes, %s, refs=%d claims=%d pendingUses=%d\n",
+				d.Name, d.Size, d.State, d.Refs, d.Claims, d.PendingUses)
+		}
+	}
+	fmt.Fprintf(&b, "  blocked procs: %s", strings.Join(r.BlockedProcs, ", "))
+	return b.String()
+}
+
+// Snapshot is the exported metrics state, JSON-serialisable. The owner
+// fills in the fields it knows (Mode, Label, task counts); the auditor
+// fills in everything it tracked.
+type Snapshot struct {
+	Label           string      `json:"label,omitempty"`
+	Mode            string      `json:"mode,omitempty"`
+	Time            float64     `json:"virtual_time_s"`
+	HBMBudget       int64       `json:"hbm_budget_bytes"`
+	HBMHighWater    int64       `json:"hbm_high_water_bytes"`
+	ReservedPeak    int64       `json:"reserved_peak_bytes"`
+	Fetches         int64       `json:"fetches"`
+	Evictions       int64       `json:"evictions"`
+	BytesFetched    int64       `json:"bytes_fetched"`
+	BytesEvicted    int64       `json:"bytes_evicted"`
+	StageRetries    int64       `json:"stage_retries"`
+	ForcedEvictions int64       `json:"forced_evictions"`
+	TasksStaged     int64       `json:"tasks_staged"`
+	TasksInline     int64       `json:"tasks_inline"`
+	QueueDepthPeak  []int       `json:"queue_depth_peak"`
+	InflightPeak    []int       `json:"inflight_peak"`
+	FetchHist       Histogram   `json:"fetch_hist"`
+	EvictHist       Histogram   `json:"evict_hist"`
+	ViolationCount  int64       `json:"violation_count"`
+	Violations      []Violation `json:"violations,omitempty"`
+	Stall           *StallReport `json:"stall,omitempty"`
+}
+
+// Auditor tracks the shadow ledger and metrics for one manager. All
+// methods are safe on a nil receiver (no-ops), so callers hold a plain
+// possibly-nil pointer.
+type Auditor struct {
+	eng *sim.Engine
+	cfg Config
+
+	// Shadow ledger, maintained purely from reported events.
+	reserved      int64 // mirror of the manager's reservation counter
+	pins          int64 // outstanding pin balance across all handles
+	claims        int64 // outstanding claim balance
+	pendingUses   int64 // outstanding pending-use balance
+	bytesReserved int64 // total bytes ever granted by reserveCapacity
+	bytesConsumed int64 // reservation bytes converted into fetches
+	bytesRefunded int64 // reservation bytes returned by aborts
+
+	// Metrics.
+	hbmHighWater    int64
+	reservedPeak    int64
+	fetches         int64
+	evictions       int64
+	bytesFetched    int64
+	bytesEvicted    int64
+	stageRetries    int64
+	forcedEvictions int64
+	queueDepthPeak  []int
+	inflightPeak    []int
+	fetchHist       Histogram
+	evictHist       Histogram
+
+	violationCount int64
+	violations     []Violation
+	stall          *StallReport
+}
+
+// New builds an auditor on eng. cfg.Probe may be nil, in which case the
+// capacity cross-checks are skipped (ledger checks still run).
+func New(eng *sim.Engine, cfg Config) *Auditor {
+	if cfg.MaxViolations <= 0 {
+		cfg.MaxViolations = 64
+	}
+	if cfg.Queues < 0 {
+		cfg.Queues = 0
+	}
+	return &Auditor{
+		eng:            eng,
+		cfg:            cfg,
+		queueDepthPeak: make([]int, cfg.Queues),
+		inflightPeak:   make([]int, cfg.Queues),
+		fetchHist:      newDurationHist(),
+		evictHist:      newDurationHist(),
+	}
+}
+
+// now returns the current virtual time.
+func (a *Auditor) now() float64 {
+	if a.eng == nil {
+		return 0
+	}
+	return a.eng.Now()
+}
+
+// Violate records an invariant breach.
+func (a *Auditor) Violate(rule, format string, args ...interface{}) {
+	if a == nil {
+		return
+	}
+	a.violationCount++
+	if len(a.violations) < a.cfg.MaxViolations {
+		a.violations = append(a.violations, Violation{
+			Time:   a.now(),
+			Rule:   rule,
+			Detail: fmt.Sprintf(format, args...),
+		})
+	}
+}
+
+// CheckNow runs the continuous invariants against the live probe:
+// shadow/real reservation agreement, non-negative ledger balances, and
+// reserved + resident within the HBM budget.
+func (a *Auditor) CheckNow() {
+	if a == nil {
+		return
+	}
+	if a.pins < 0 {
+		a.Violate("pin-balance", "pin balance went negative: %d", a.pins)
+	}
+	if a.claims < 0 {
+		a.Violate("claim-balance", "claim balance went negative: %d", a.claims)
+	}
+	if a.pendingUses < 0 {
+		a.Violate("pending-use-balance", "pending-use balance went negative: %d", a.pendingUses)
+	}
+	if a.cfg.Probe == nil {
+		return
+	}
+	pr := a.cfg.Probe()
+	if pr.Reserved != a.reserved {
+		a.Violate("reservation-ledger", "manager reserved=%d but ledger says %d", pr.Reserved, a.reserved)
+	}
+	if pr.Reserved < 0 {
+		a.Violate("reservation-negative", "reserved=%d", pr.Reserved)
+	}
+	if pr.HBMUsed > a.hbmHighWater {
+		a.hbmHighWater = pr.HBMUsed
+	}
+	if pr.Reserved > a.reservedPeak {
+		a.reservedPeak = pr.Reserved
+	}
+	if pr.HBMUsed+pr.Reserved > a.cfg.Budget {
+		a.Violate("capacity", "used %d + reserved %d exceeds budget %d",
+			pr.HBMUsed, pr.Reserved, a.cfg.Budget)
+	}
+}
+
+// Reserve records a successful capacity reservation of n bytes.
+func (a *Auditor) Reserve(n int64) {
+	if a == nil {
+		return
+	}
+	a.reserved += n
+	a.bytesReserved += n
+	a.CheckNow()
+}
+
+// ConsumeReservation records n reserved bytes converted into an HBM
+// allocation by a fetch.
+func (a *Auditor) ConsumeReservation(n int64) {
+	if a == nil {
+		return
+	}
+	a.reserved -= n
+	a.bytesConsumed += n
+	a.CheckNow()
+}
+
+// RefundReservation records n reserved bytes returned unused by an
+// aborted staging attempt.
+func (a *Auditor) RefundReservation(n int64) {
+	if a == nil {
+		return
+	}
+	a.reserved -= n
+	a.bytesRefunded += n
+	a.CheckNow()
+}
+
+// FetchDone records a completed fetch of n bytes taking d virtual
+// seconds.
+func (a *Auditor) FetchDone(n int64, d sim.Time) {
+	if a == nil {
+		return
+	}
+	a.fetches++
+	a.bytesFetched += n
+	a.fetchHist.observe(d)
+	a.CheckNow()
+}
+
+// EvictDone records a completed eviction of n bytes taking d virtual
+// seconds; forced marks an eviction of a block a queued task still
+// needed.
+func (a *Auditor) EvictDone(n int64, d sim.Time, forced bool) {
+	if a == nil {
+		return
+	}
+	a.evictions++
+	a.bytesEvicted += n
+	if forced {
+		a.forcedEvictions++
+	}
+	a.evictHist.observe(d)
+	a.CheckNow()
+}
+
+// StageRetry records a staging attempt aborted for lack of capacity.
+func (a *Auditor) StageRetry() {
+	if a == nil {
+		return
+	}
+	a.stageRetries++
+}
+
+// Pin adjusts the outstanding pin balance.
+func (a *Auditor) Pin(delta int) {
+	if a == nil {
+		return
+	}
+	a.pins += int64(delta)
+	if a.pins < 0 {
+		a.Violate("pin-balance", "pin balance went negative: %d", a.pins)
+	}
+}
+
+// Claim adjusts the outstanding claim balance.
+func (a *Auditor) Claim(delta int) {
+	if a == nil {
+		return
+	}
+	a.claims += int64(delta)
+	if a.claims < 0 {
+		a.Violate("claim-balance", "claim balance went negative: %d", a.claims)
+	}
+}
+
+// PendingUse adjusts the outstanding pending-use balance.
+func (a *Auditor) PendingUse(delta int) {
+	if a == nil {
+		return
+	}
+	a.pendingUses += int64(delta)
+	if a.pendingUses < 0 {
+		a.Violate("pending-use-balance", "pending-use balance went negative: %d", a.pendingUses)
+	}
+}
+
+// QueueDepth records the depth of wait queue q after a push, tracking
+// the high-water mark.
+func (a *Auditor) QueueDepth(q, depth int) {
+	if a == nil || q < 0 {
+		return
+	}
+	for len(a.queueDepthPeak) <= q {
+		a.queueDepthPeak = append(a.queueDepthPeak, 0)
+	}
+	if depth > a.queueDepthPeak[q] {
+		a.queueDepthPeak[q] = depth
+	}
+}
+
+// Inflight records PE pe's staged-but-uncompleted task count after a
+// change; bound > 0 is the configured prefetch-depth limit, whose
+// violation is the X6 invariant.
+func (a *Auditor) Inflight(pe, depth, bound int) {
+	if a == nil || pe < 0 {
+		return
+	}
+	for len(a.inflightPeak) <= pe {
+		a.inflightPeak = append(a.inflightPeak, 0)
+	}
+	if depth > a.inflightPeak[pe] {
+		a.inflightPeak[pe] = depth
+	}
+	if bound > 0 && depth > bound {
+		a.Violate("prefetch-depth", "PE %d has %d tasks in flight, bound %d", pe, depth, bound)
+	}
+}
+
+// Stall files the watchdog's diagnostic for a silent hang.
+func (a *Auditor) Stall(r *StallReport) {
+	if a == nil {
+		return
+	}
+	a.stall = r
+	a.Violate("starvation", "event queue drained with %d task(s) stuck in wait queues", len(r.Stuck))
+}
+
+// CheckQuiescent verifies the at-quiescence conservation laws: the
+// reservation counter drained and every granted byte was consumed or
+// refunded exactly once. Handle-level balances are verified by the
+// owner, which can see the handles.
+func (a *Auditor) CheckQuiescent() {
+	if a == nil {
+		return
+	}
+	a.CheckNow()
+	if a.reserved != 0 {
+		a.Violate("quiescence-reserved", "reservation counter %d at quiescence, want 0", a.reserved)
+	}
+	if a.bytesReserved != a.bytesConsumed+a.bytesRefunded {
+		a.Violate("quiescence-ledger",
+			"reserved %d bytes but consumed %d + refunded %d — a reservation leaked or double-spent",
+			a.bytesReserved, a.bytesConsumed, a.bytesRefunded)
+	}
+	if a.pins != 0 {
+		a.Violate("quiescence-pins", "pin balance %d at quiescence, want 0", a.pins)
+	}
+	if a.claims != 0 {
+		a.Violate("quiescence-claims", "claim balance %d at quiescence, want 0", a.claims)
+	}
+	if a.pendingUses != 0 {
+		a.Violate("quiescence-pending", "pending-use balance %d at quiescence, want 0", a.pendingUses)
+	}
+}
+
+// Ok reports whether no violation has been detected.
+func (a *Auditor) Ok() bool { return a == nil || a.violationCount == 0 }
+
+// Violations returns the recorded violations (capped at
+// Config.MaxViolations; ViolationCount in the snapshot has the total).
+func (a *Auditor) Violations() []Violation {
+	if a == nil {
+		return nil
+	}
+	return a.violations
+}
+
+// StallReport returns the watchdog diagnostic, or nil if no stall was
+// detected.
+func (a *Auditor) StallReport() *StallReport {
+	if a == nil {
+		return nil
+	}
+	return a.stall
+}
+
+// Err summarises the violations as a single error, or nil when clean.
+func (a *Auditor) Err() error {
+	if a.Ok() {
+		return nil
+	}
+	first := a.violations[0]
+	return fmt.Errorf("audit: %d invariant violation(s), first: %s", a.violationCount, first)
+}
+
+// Snapshot exports the metrics state. The caller may fill Label, Mode
+// and the task counters it owns.
+func (a *Auditor) Snapshot() Snapshot {
+	if a == nil {
+		return Snapshot{}
+	}
+	return Snapshot{
+		Time:            a.now(),
+		HBMBudget:       a.cfg.Budget,
+		HBMHighWater:    a.hbmHighWater,
+		ReservedPeak:    a.reservedPeak,
+		Fetches:         a.fetches,
+		Evictions:       a.evictions,
+		BytesFetched:    a.bytesFetched,
+		BytesEvicted:    a.bytesEvicted,
+		StageRetries:    a.stageRetries,
+		ForcedEvictions: a.forcedEvictions,
+		QueueDepthPeak:  append([]int(nil), a.queueDepthPeak...),
+		InflightPeak:    append([]int(nil), a.inflightPeak...),
+		FetchHist:       a.fetchHist,
+		EvictHist:       a.evictHist,
+		ViolationCount:  a.violationCount,
+		Violations:      append([]Violation(nil), a.violations...),
+		Stall:           a.stall,
+	}
+}

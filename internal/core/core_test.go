@@ -50,6 +50,9 @@ type env struct {
 
 func newEnv(t *testing.T, numPEs int, opts Options) *env {
 	t.Helper()
+	// Every strategy test runs with the invariant auditor enabled; the
+	// quiescence checks in assertQuiescent assert it stayed clean.
+	opts.Audit = true
 	e := sim.NewEngine(42)
 	m := tinySpec().MustBuild(e)
 	tr := projections.NewTracer(e, numPEs)
@@ -231,6 +234,9 @@ func assertQuiescent(t *testing.T, env *env) {
 	}
 	if peak := env.m.HBM().PeakUsed; peak > env.m.HBM().Cap-env.mg.Options().HBMReserve {
 		t.Fatalf("HBM peak %d exceeded budget %d", peak, env.mg.HBMBudget())
+	}
+	if aud := env.mg.Auditor(); aud != nil && !aud.Ok() {
+		t.Fatalf("auditor recorded violations: %v", aud.Err())
 	}
 }
 

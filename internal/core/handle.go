@@ -107,7 +107,10 @@ func (h *Handle) resident() bool { return h.state == InHBM }
 
 // pin increments the reference count ("incremented every time a task
 // depending on the block is scheduled").
-func (h *Handle) pin() { h.refs++ }
+func (h *Handle) pin() {
+	h.refs++
+	h.mgr.aud.Pin(1)
+}
 
 // unpin decrements the reference count.
 func (h *Handle) unpin() {
@@ -115,4 +118,5 @@ func (h *Handle) unpin() {
 		panic("core: unpin of unreferenced block " + h.name)
 	}
 	h.refs--
+	h.mgr.aud.Pin(-1)
 }

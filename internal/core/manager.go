@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"github.com/hetmem/hetmem/internal/audit"
 	"github.com/hetmem/hetmem/internal/charm"
 	"github.com/hetmem/hetmem/internal/memsim"
 	"github.com/hetmem/hetmem/internal/projections"
@@ -82,6 +83,11 @@ type Options struct {
 	// overlap-vs-capacity-pressure trade-off of §IV-D ("when to
 	// prefetch").
 	PrefetchDepth int
+	// Audit enables the invariant-audit and metrics layer
+	// (internal/audit): conservation checks on every accounting change,
+	// a quiescence watchdog that reports silent stalls, and structured
+	// metrics snapshots via AuditSnapshot.
+	Audit bool
 }
 
 // DefaultOptions returns the paper-faithful configuration for a mode.
@@ -106,6 +112,10 @@ type Manager struct {
 	// would otherwise hit when several tasks each pin part of their
 	// blocks and wait forever for the rest.
 	reserved int64
+
+	// aud is the optional invariant auditor; nil when Options.Audit is
+	// off (every audit.Auditor method is a no-op on nil).
+	aud *audit.Auditor
 
 	// Stats aggregates data-movement activity.
 	Stats struct {
@@ -133,6 +143,16 @@ func NewManager(rt *charm.Runtime, opts Options) *Manager {
 		panic("core: negative HBM reserve")
 	}
 	m := &Manager{rt: rt, mach: rt.Machine(), opts: opts}
+	if opts.Audit {
+		m.aud = audit.New(rt.Engine(), audit.Config{
+			Budget: m.HBMBudget(),
+			Queues: rt.NumPEs(),
+			Probe: func() audit.Probe {
+				return audit.Probe{HBMUsed: m.hbm().Used(), Reserved: m.reserved}
+			},
+		})
+		rt.Engine().SetQuiesceHook(m.auditQuiesce)
+	}
 	// A migration memcpy is a single thread's copy loop (Fig. 7's
 	// cost basis); the full routine adds the fixed alloc/free cost.
 	if m.mach.Alloc.MemcpyRateCap == 0 {
@@ -190,15 +210,29 @@ func (m *Manager) reserveCapacity(p *sim.Proc, lane int, need int64) bool {
 		return false
 	}
 	m.reserved += need
+	m.aud.Reserve(need)
 	return true
 }
 
-// unreserveCapacity returns unused reservation.
-func (m *Manager) unreserveCapacity(n int64) {
+// consumeReservation converts n reserved bytes into an imminent HBM
+// allocation (a fetch about to migrate).
+func (m *Manager) consumeReservation(n int64) {
 	m.reserved -= n
 	if m.reserved < 0 {
 		panic("core: reservation underflow")
 	}
+	m.aud.ConsumeReservation(n)
+}
+
+// refundReservation returns n reserved bytes untouched by an aborted
+// staging attempt. Every granted reservation is consumed or refunded
+// exactly once; the auditor's ledger verifies this at quiescence.
+func (m *Manager) refundReservation(n int64) {
+	m.reserved -= n
+	if m.reserved < 0 {
+		panic("core: reservation underflow")
+	}
+	m.aud.RefundReservation(n)
 }
 
 // NewHandle declares a managed data block of the given size. Placement
@@ -262,7 +296,7 @@ func (m *Manager) fetch(p *sim.Proc, lane int, h *Handle, hasReservation bool) e
 	lockEnd()
 	defer h.mu.Unlock(p)
 	if hasReservation {
-		m.unreserveCapacity(h.size)
+		m.consumeReservation(h.size)
 	}
 	if h.state == InHBM {
 		return nil
@@ -286,6 +320,7 @@ func (m *Manager) fetch(p *sim.Proc, lane int, h *Handle, hasReservation bool) e
 	m.Stats.Fetches++
 	m.Stats.BytesFetched += float64(h.size)
 	m.Stats.FetchTime += d
+	m.aud.FetchDone(h.size, d)
 	return nil
 }
 
@@ -304,7 +339,8 @@ func (m *Manager) evict(p *sim.Proc, lane int, h *Handle, force bool) {
 	if !force && h.pendingUses > 0 {
 		return
 	}
-	if force && h.pendingUses > 0 {
+	forced := force && h.pendingUses > 0
+	if forced {
 		m.Stats.ForcedEvictions++
 	}
 	h.state = Evicting
@@ -321,6 +357,7 @@ func (m *Manager) evict(p *sim.Proc, lane int, h *Handle, force bool) {
 	m.Stats.Evictions++
 	m.Stats.BytesEvicted += float64(h.size)
 	m.Stats.EvictTime += d
+	m.aud.EvictDone(h.size, d, forced)
 }
 
 // makeRoom evicts dead (resident, unreferenced) blocks until need bytes
@@ -350,6 +387,7 @@ func (m *Manager) TaskCreated(t *charm.Task) {
 	for _, d := range t.Deps {
 		if h, ok := d.Handle.(*Handle); ok && h.mgr == m {
 			h.pendingUses++
+			m.aud.PendingUse(1)
 		}
 	}
 }
@@ -362,6 +400,7 @@ func (m *Manager) taskDone(t *charm.Task) {
 				panic("core: pendingUses underflow on " + h.name)
 			}
 			h.pendingUses--
+			m.aud.PendingUse(-1)
 		}
 	}
 }
@@ -397,4 +436,87 @@ type strategy interface {
 	admit(p *sim.Proc, ot *OOCTask) bool
 	// complete is post-processing after the entry method ran.
 	complete(p *sim.Proc, ot *OOCTask)
+	// queued snapshots every task parked in the strategy's wait
+	// queues, indexed by queue. Called only from the engine's quiesce
+	// hook, when no process is running, so no locks are needed.
+	queued() [][]*OOCTask
+}
+
+// Auditor returns the invariant auditor, or nil when Options.Audit is
+// off.
+func (m *Manager) Auditor() *audit.Auditor { return m.aud }
+
+// AuditSnapshot exports the auditor's metrics, filled in with the
+// manager-side fields. ok is false when auditing is disabled.
+func (m *Manager) AuditSnapshot() (s audit.Snapshot, ok bool) {
+	if m.aud == nil {
+		return audit.Snapshot{}, false
+	}
+	s = m.aud.Snapshot()
+	s.Mode = m.opts.Mode.String()
+	s.TasksStaged = m.Stats.TasksStaged
+	s.TasksInline = m.Stats.TasksInline
+	return s, true
+}
+
+// auditQuiesce is the watchdog, installed as the engine's quiesce hook:
+// it runs whenever the event queue drains. If staged tasks are still
+// parked in wait queues at that point nothing will ever wake them — a
+// lost wakeup or starvation — so it files a StallReport naming the
+// stuck tasks and their blocking handles. Otherwise the system is truly
+// quiescent and the conservation invariants must all balance to zero.
+func (m *Manager) auditQuiesce() {
+	if m.aud == nil {
+		return
+	}
+	var stuck []audit.StuckTask
+	if m.strat != nil {
+		for qi, q := range m.strat.queued() {
+			for _, ot := range q {
+				st := audit.StuckTask{Task: ot.t.String(), PE: ot.pe.ID(), Queue: qi}
+				for _, d := range ot.deps {
+					st.Deps = append(st.Deps, audit.BlockInfo{
+						Name:        d.h.name,
+						Size:        d.h.size,
+						State:       d.h.state.String(),
+						Refs:        d.h.refs,
+						Claims:      d.h.claims,
+						PendingUses: d.h.pendingUses,
+					})
+				}
+				stuck = append(stuck, st)
+			}
+		}
+	}
+	var msgs, runs []int
+	undelivered := 0
+	for i := 0; i < m.rt.NumPEs(); i++ {
+		mq, rq := m.rt.PE(i).QueueLengths()
+		msgs = append(msgs, mq)
+		runs = append(runs, rq)
+		undelivered += mq + rq
+	}
+	if len(stuck) > 0 || undelivered > 0 {
+		m.aud.Stall(&audit.StallReport{
+			Time:         m.rt.Engine().Now(),
+			BlockedProcs: m.rt.Engine().BlockedProcNames(),
+			Stuck:        stuck,
+			PEQueueMsgs:  msgs,
+			PEQueueRuns:  runs,
+			HBMUsed:      m.hbm().Used(),
+			Reserved:     m.reserved,
+			Budget:       m.HBMBudget(),
+		})
+		return
+	}
+	m.aud.CheckQuiescent()
+	for _, h := range m.handles {
+		if h.refs != 0 || h.claims != 0 {
+			m.aud.Violate("quiescence-handle", "block %s: refs=%d claims=%d at quiescence",
+				h.name, h.refs, h.claims)
+		}
+		if h.state == Fetching || h.state == Evicting {
+			m.aud.Violate("quiescence-state", "block %s stuck in %v at quiescence", h.name, h.state)
+		}
+	}
 }

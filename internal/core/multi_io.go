@@ -22,7 +22,10 @@ type multiIO struct {
 	ioCond []*sim.Cond
 	work   []bool
 	// inflight counts staged-but-uncompleted tasks per PE, bounded by
-	// Options.PrefetchDepth when non-zero.
+	// Options.PrefetchDepth when non-zero. Guarded by ioMu[pe]: the IO
+	// thread increments it while staging and the worker decrements it
+	// in complete, so an unguarded read could admit a task past the
+	// bound between the worker's decrement and its kick.
 	inflight []int
 }
 
@@ -88,7 +91,8 @@ func (s *multiIO) admit(p *sim.Proc, ot *OOCTask) bool {
 	// itself to the corresponding PE's wait queue. The IO thread is
 	// then woken up by the worker thread."
 	pe := ot.pe.ID()
-	s.wqs[pe].push(p, ot)
+	depth := s.wqs[pe].push(p, ot)
+	s.m.aud.QueueDepth(pe, depth)
 	s.m.Stats.TasksStaged++
 	s.kick(p, pe)
 	return true
@@ -96,7 +100,15 @@ func (s *multiIO) admit(p *sim.Proc, ot *OOCTask) bool {
 
 func (s *multiIO) complete(p *sim.Proc, ot *OOCTask) {
 	pe := ot.pe.ID()
+	// The in-flight count is shared with the PE's IO thread, which
+	// reads it against the prefetch-depth bound; decrement under the
+	// same mutex so the bound is never transiently over-admitted.
+	s.ioMu[pe].Lock(p)
 	s.inflight[pe]--
+	if s.inflight[pe] < 0 {
+		panic("core: multiIO inflight underflow")
+	}
+	s.ioMu[pe].Unlock(p)
 	// Drop pins now (reference counts must be exact), but hand the
 	// data movement to the IO thread so eviction is asynchronous too.
 	ot.unpinAll()
@@ -141,18 +153,32 @@ func (s *multiIO) ioLoop(q *sim.Proc, i, lane int) {
 
 		staged := 0
 		depth := s.m.opts.PrefetchDepth
-		for depth == 0 || s.inflight[i] < depth {
+		for {
+			// Claim an in-flight slot under the mutex before staging;
+			// staging parks on locks and migrations, and the bound must
+			// hold across those waits.
+			s.ioMu[i].Lock(q)
+			free := depth == 0 || s.inflight[i] < depth
+			if free {
+				s.inflight[i]++
+				s.m.aud.Inflight(i, s.inflight[i], depth)
+			}
+			s.ioMu[i].Unlock(q)
+			if !free {
+				break
+			}
 			ot := s.wqs[i].pop(q)
 			if ot == nil {
+				s.releaseSlot(q, i)
 				break
 			}
 			if ot.stage(q, lane) {
 				ot.Staged = true
-				s.inflight[i]++
 				ot.pe.PushRun(q, ot.t)
 				staged++
 				continue
 			}
+			s.releaseSlot(q, i)
 			s.wqs[i].pushFront(q, ot)
 			break
 		}
@@ -165,10 +191,26 @@ func (s *multiIO) ioLoop(q *sim.Proc, i, lane int) {
 		// symmetric load; the explicit kick makes it a guarantee.
 		if evicted || staged > 0 {
 			for j := range s.wqs {
-				if j != i && s.wqs[j].len() > 0 {
+				if j != i && s.wqs[j].len(q) > 0 {
 					s.kick(q, j)
 				}
 			}
 		}
 	}
+}
+
+// releaseSlot returns an unused in-flight slot claimed by ioLoop.
+func (s *multiIO) releaseSlot(q *sim.Proc, i int) {
+	s.ioMu[i].Lock(q)
+	s.inflight[i]--
+	s.ioMu[i].Unlock(q)
+}
+
+// queued implements the watchdog's stuck-task snapshot.
+func (s *multiIO) queued() [][]*OOCTask {
+	out := make([][]*OOCTask, len(s.wqs))
+	for i, wq := range s.wqs {
+		out[i] = wq.quiescentTasks()
+	}
+	return out
 }

@@ -31,11 +31,12 @@ func (s *noIO) admit(p *sim.Proc, ot *OOCTask) bool {
 	// — synchronous: the fetch time lands on the worker's own lane.
 	// FIFO fairness: if older tasks already wait on this PE, queue
 	// behind them instead of overtaking.
-	if s.wqs[pe].len() == 0 && ot.stage(p, pe) {
+	if s.wqs[pe].len(p) == 0 && ot.stage(p, pe) {
 		s.m.Stats.TasksInline++
 		return false
 	}
-	s.wqs[pe].push(p, ot)
+	depth := s.wqs[pe].push(p, ot)
+	s.m.aud.QueueDepth(pe, depth)
 	s.m.Stats.TasksStaged++
 	return true
 }
@@ -53,13 +54,22 @@ func (s *noIO) complete(p *sim.Proc, ot *OOCTask) {
 	// helps other PEs' queues (documented deviation; without it the
 	// tail of an iteration can deadlock when evictions happen only on
 	// PEs with empty queues).
-	if s.wqs[pe].len() == 0 {
+	if s.wqs[pe].len(p) == 0 {
 		for i := range s.wqs {
 			if i != pe {
 				s.drain(p, s.wqs[i])
 			}
 		}
 	}
+}
+
+// queued implements the watchdog's stuck-task snapshot.
+func (s *noIO) queued() [][]*OOCTask {
+	out := make([][]*OOCTask, len(s.wqs))
+	for i, wq := range s.wqs {
+		out[i] = wq.quiescentTasks()
+	}
+	return out
 }
 
 // drain stages as many waiting tasks from wq as capacity allows,

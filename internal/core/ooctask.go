@@ -124,6 +124,7 @@ func (ot *OOCTask) stage(p *sim.Proc, lane int) bool {
 		}
 		ot.claimed[i] = true
 		h.claims++
+		m.aud.Claim(1)
 		if h.claims == 1 {
 			ot.reserved[i] = true
 			need += h.size
@@ -132,6 +133,7 @@ func (ot *OOCTask) stage(p *sim.Proc, lane int) bool {
 	if need > 0 && !m.reserveCapacity(p, lane, need) {
 		// Nothing was granted: clear bookkeeping without refunding.
 		m.Stats.StageRetries++
+		m.aud.StageRetry()
 		for j := range ot.deps {
 			ot.dropClaim(j)
 		}
@@ -162,6 +164,7 @@ func (ot *OOCTask) stage(p *sim.Proc, lane int) bool {
 func (ot *OOCTask) dropClaim(i int) {
 	if ot.claimed[i] {
 		ot.deps[i].h.claims--
+		ot.m.aud.Claim(-1)
 		ot.claimed[i] = false
 		ot.reserved[i] = false
 	}
@@ -173,7 +176,7 @@ func (ot *OOCTask) dropClaim(i int) {
 func (ot *OOCTask) backOut(from int) {
 	for j := from; j < len(ot.deps); j++ {
 		if ot.reserved[j] {
-			ot.m.unreserveCapacity(ot.deps[j].h.size)
+			ot.m.refundReservation(ot.deps[j].h.size)
 		}
 	}
 	for j := range ot.deps {
@@ -214,11 +217,15 @@ func newWaitQueue(lockCost sim.Time) *waitQueue {
 }
 
 // push appends a task (worker side: "the worker thread locks the
-// corresponding PE's wait queue and adds the task").
-func (wq *waitQueue) push(p *sim.Proc, ot *OOCTask) {
+// corresponding PE's wait queue and adds the task") and returns the
+// resulting depth, so callers can record queue-depth metrics without a
+// second lock round-trip.
+func (wq *waitQueue) push(p *sim.Proc, ot *OOCTask) int {
 	wq.mu.Lock(p)
 	wq.tasks = append(wq.tasks, ot)
+	n := len(wq.tasks)
 	wq.mu.Unlock(p)
+	return n
 }
 
 // pop removes and returns the first task, or nil when empty.
@@ -234,13 +241,29 @@ func (wq *waitQueue) pop(p *sim.Proc) *OOCTask {
 }
 
 // pushFront reinserts a partially staged task at the head so FIFO order
-// is preserved across capacity stalls.
-func (wq *waitQueue) pushFront(p *sim.Proc, ot *OOCTask) {
+// is preserved across capacity stalls. Returns the resulting depth.
+func (wq *waitQueue) pushFront(p *sim.Proc, ot *OOCTask) int {
 	wq.mu.Lock(p)
 	wq.tasks = append([]*OOCTask{ot}, wq.tasks...)
+	n := len(wq.tasks)
 	wq.mu.Unlock(p)
+	return n
 }
 
-// len returns the queue length (racy snapshot; callers use it only for
-// heuristics and diagnostics).
-func (wq *waitQueue) len() int { return len(wq.tasks) }
+// len returns the queue length under the queue lock. Callers make real
+// scheduling decisions from it (NoIO's FIFO-fairness gate, MultiIO's
+// cross-PE kicks), so it must observe a consistent queue, and it pays
+// the same lock cost every other queue operation does.
+func (wq *waitQueue) len(p *sim.Proc) int {
+	wq.mu.Lock(p)
+	n := len(wq.tasks)
+	wq.mu.Unlock(p)
+	return n
+}
+
+// quiescentTasks snapshots the queue contents without the lock. Only
+// the engine's quiesce hook may call it: with the event queue drained
+// no process is running, so the unguarded read cannot race.
+func (wq *waitQueue) quiescentTasks() []*OOCTask {
+	return append([]*OOCTask(nil), wq.tasks...)
+}

@@ -51,6 +51,7 @@ func TestQuickOOCInvariants(t *testing.T) {
 		rt := charm.NewRuntime(mach, plan.numPEs, charm.DefaultParams(), nil)
 		opts := DefaultOptions(plan.mode)
 		opts.EvictLazily = plan.lazy
+		opts.Audit = true
 		mg := NewManager(rt, opts)
 		defer e.Close()
 
@@ -93,6 +94,10 @@ func TestQuickOOCInvariants(t *testing.T) {
 		// Byte accounting is consistent.
 		st := mg.Stats
 		if st.BytesFetched < 0 || st.BytesEvicted > st.BytesFetched {
+			return false
+		}
+		// The auditor ran through the whole workload and saw nothing.
+		if !mg.Auditor().Ok() {
 			return false
 		}
 		return true

@@ -23,7 +23,14 @@ type singleIO struct {
 
 	ioMu   sim.Mutex
 	ioCond *sim.Cond
-	work   bool
+	// gen counts kicks. Each IO thread remembers the last generation it
+	// served and re-runs a pass while gen has moved past it. A single
+	// shared boolean is wrong with IOThreads > 1 (the X3 ablation): the
+	// first thread to wake consumes the flag, and a sibling thread that
+	// was mid-pass — holding a popped task it is about to push back —
+	// re-waits even though the kick was meant for work it still owes,
+	// losing the wakeup and stranding the task.
+	gen uint64
 }
 
 func newSingleIO(m *Manager) *singleIO {
@@ -58,10 +65,11 @@ func (s *singleIO) queueFor(pe int) *waitQueue {
 	return s.wqs[pe]
 }
 
-// kick wakes the IO thread(s).
+// kick wakes the IO thread(s): every thread whose last served
+// generation predates this one will run another pass.
 func (s *singleIO) kick(p *sim.Proc) {
 	s.ioMu.Lock(p)
-	s.work = true
+	s.gen++
 	s.ioMu.Unlock(p)
 	s.ioCond.Broadcast()
 }
@@ -77,7 +85,13 @@ func (s *singleIO) admit(p *sim.Proc, ot *OOCTask) bool {
 		s.m.Stats.TasksInline++
 		return false
 	}
-	s.queueFor(ot.pe.ID()).push(p, ot)
+	pe := ot.pe.ID()
+	qi := 0
+	if len(s.wqs) > 1 {
+		qi = pe
+	}
+	depth := s.queueFor(pe).push(p, ot)
+	s.m.aud.QueueDepth(qi, depth)
 	s.m.Stats.TasksStaged++
 	s.kick(p)
 	return true
@@ -90,16 +104,26 @@ func (s *singleIO) complete(p *sim.Proc, ot *OOCTask) {
 	s.kick(p)
 }
 
+// queued implements the watchdog's stuck-task snapshot.
+func (s *singleIO) queued() [][]*OOCTask {
+	out := make([][]*OOCTask, len(s.wqs))
+	for i, wq := range s.wqs {
+		out[i] = wq.quiescentTasks()
+	}
+	return out
+}
+
 // ioLoop is Algorithm 1: while space remains in HBM, pop the first task
 // of each wait queue in turn, bring in its data, and move it to the run
 // queue; sleep when out of tasks or capacity.
 func (s *singleIO) ioLoop(q *sim.Proc, lane int) {
+	var seen uint64
 	for {
 		s.ioMu.Lock(q)
-		for !s.work {
+		for s.gen == seen {
 			s.ioCond.Wait(q)
 		}
-		s.work = false
+		seen = s.gen
 		s.ioMu.Unlock(q)
 
 		for progress := true; progress; {

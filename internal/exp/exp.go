@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"strings"
 
+	"github.com/hetmem/hetmem/internal/audit"
 	"github.com/hetmem/hetmem/internal/charm"
 	"github.com/hetmem/hetmem/internal/core"
 	"github.com/hetmem/hetmem/internal/kernels"
@@ -81,23 +82,69 @@ func (s Scale) HBMReserve() int64 {
 	return GB
 }
 
+// auditOn enables the invariant auditor on every environment the
+// drivers build; auditEnvs collects those environments so DrainAudit
+// can report their metrics and violations after the figures run. All
+// drivers are single-threaded, so plain package state suffices.
+var (
+	auditOn   bool
+	auditEnvs []*kernels.Env
+)
+
+// SetAudit switches invariant auditing on or off for subsequent driver
+// runs and resets the collected-environment registry.
+func SetAudit(on bool) {
+	auditOn = on
+	auditEnvs = nil
+}
+
+// DrainAudit returns one metrics snapshot per audited environment
+// created since SetAudit, labelled, plus the total violation count
+// across them. The registry is cleared.
+func DrainAudit() ([]audit.Snapshot, int64) {
+	var snaps []audit.Snapshot
+	var violations int64
+	for _, env := range auditEnvs {
+		snap, ok := env.MG.AuditSnapshot()
+		if !ok {
+			continue
+		}
+		violations += snap.ViolationCount
+		snaps = append(snaps, snap)
+	}
+	auditEnvs = nil
+	return snaps, violations
+}
+
 // options returns paper-faithful manager options for a mode at this
 // scale.
 func (s Scale) options(mode core.Mode) core.Options {
 	o := core.DefaultOptions(mode)
 	o.HBMReserve = s.HBMReserve()
+	o.Audit = auditOn
 	return o
 }
 
 // newEnv builds a fresh environment for one run.
 func (s Scale) newEnv(opts core.Options, trace bool) *kernels.Env {
-	return kernels.NewEnv(kernels.EnvConfig{
+	env := kernels.NewEnv(kernels.EnvConfig{
 		Spec:   s.Machine(),
 		NumPEs: s.NumPEs(),
 		Opts:   opts,
 		Params: charm.DefaultParams(),
 		Trace:  trace,
 	})
+	registerAudit(env)
+	return env
+}
+
+// registerAudit enrols an environment in the DrainAudit registry;
+// drivers that build environments directly (custom machine specs) call
+// it themselves.
+func registerAudit(env *kernels.Env) {
+	if auditOn && env.MG.Auditor() != nil {
+		auditEnvs = append(auditEnvs, env)
+	}
 }
 
 // StencilConfig returns the scale's Stencil3D configuration with the

@@ -68,6 +68,7 @@ func RunNVM(s Scale) (*NVMResult, error) {
 			Opts:   s.options(mode),
 			Params: charm.DefaultParams(),
 		})
+		registerAudit(env)
 		defer env.Close()
 		app, err := kernels.NewStencil(env.MG, cfg)
 		if err != nil {

@@ -329,12 +329,17 @@ func (a *Allocator) Migrate(p *sim.Proc, b *Buffer, node int) (sim.Time, error) 
 	if b.OnNode(node) {
 		return 0, nil
 	}
-	if a.MigrateOpCost > 0 {
-		p.Sleep(a.MigrateOpCost)
-	}
+	// Allocate the destination before charging the fixed op cost: the
+	// capacity claim must be visible to other processes at the instant
+	// the caller's staging reservation is consumed, or two concurrent
+	// migrations can both see the same free space during the op-cost
+	// sleep and over-commit the target node.
 	dst, err := a.AllocOnNode(b.size, node)
 	if err != nil {
 		return 0, err
+	}
+	if a.MigrateOpCost > 0 {
+		p.Sleep(a.MigrateOpCost)
 	}
 	t0 := p.Now()
 	if _, err := a.Memcpy(p, dst, b); err != nil {

@@ -73,6 +73,12 @@ type Engine struct {
 	rng     *rand.Rand
 	failure interface{} // panic value propagated out of a process
 	nlive   int         // processes spawned and not yet finished
+
+	// quiesceHook runs whenever Run drains the event queue. With live
+	// processes still parked this is the only moment a silent hang can
+	// be observed, so the audit layer uses it as its watchdog: nothing
+	// will ever run again unless an external Schedule arrives.
+	quiesceHook func()
 }
 
 // NewEngine returns an engine with virtual time 0 and a deterministic
@@ -210,6 +216,12 @@ func (e *Engine) wakeAt(t Time, p *Proc) *EventHandle {
 	})
 }
 
+// SetQuiesceHook registers fn to run each time Run drains the event
+// queue (including at normal completion). The hook must not schedule
+// new events; it is a read-only observation point for deadlock and
+// invariant diagnostics.
+func (e *Engine) SetQuiesceHook(fn func()) { e.quiesceHook = fn }
+
 // Run executes events until the event queue is empty or the virtual
 // clock would pass until. It returns the virtual time at which it
 // stopped. Processes still blocked when the queue drains are left parked
@@ -229,6 +241,9 @@ func (e *Engine) Run(until Time) Time {
 		}
 		e.now = ev.t
 		ev.fn()
+	}
+	if len(e.events) == 0 && e.quiesceHook != nil {
+		e.quiesceHook()
 	}
 	return e.now
 }
