@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: ci vet build test race audit bench
+.PHONY: ci vet build test race audit bench bench-adapt
 
 # ci is the gate: static checks, build, race-enabled tests, and the
 # audit-enabled figure sweep (every simulated run carries the invariant
@@ -24,3 +24,8 @@ audit:
 
 bench:
 	$(GO) test -bench=. -benchmem ./internal/exp/
+
+# bench-adapt regenerates the committed adaptive-controller benchmark
+# snapshot from the full-scale X9 sweep (adaptive vs the fixed grid).
+bench-adapt:
+	$(GO) run ./cmd/hmrepro -adapt -bench-adapt BENCH_adapt.json

@@ -4,10 +4,11 @@
 //
 // Usage:
 //
-//	hmcluster [-nodes 4] [-mode multi] [-scale full|small]
+//	hmcluster [-nodes 4] [-mode multi] [-scale full|small] [-audit]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -24,11 +25,15 @@ func main() {
 	modeName := flag.String("mode", "multi", "strategy: naive, single, no, multi")
 	scaleName := flag.String("scale", "full", "experiment scale: full or small")
 	sweep := flag.Bool("sweep", false, "run the full X8 weak-scaling sweep instead of one configuration")
+	auditOn := flag.Bool("audit", false, "enable the invariant auditor on every node and print per-node JSON metrics")
 	flag.Parse()
 
 	scale := exp.Full
 	if *scaleName == "small" {
 		scale = exp.Small
+	}
+	if *auditOn {
+		exp.SetAudit(true) // RunCluster and the single-run path both honour it
 	}
 	if *sweep {
 		r, err := exp.RunCluster(scale)
@@ -55,6 +60,7 @@ func main() {
 	perNode := scale.StencilConfig(scale.StencilReducedSizes()[1])
 	opts := core.DefaultOptions(mode)
 	opts.HBMReserve = scale.HBMReserve()
+	opts.Audit = *auditOn
 	c, err := cluster.New(cluster.Config{
 		Nodes:  *nodes,
 		Spec:   scale.Machine(),
@@ -73,4 +79,24 @@ func main() {
 	fmt.Printf("distributed Stencil3D, %d nodes x %d PEs, %s\n", *nodes, scale.NumPEs(), mode)
 	fmt.Printf("  total %8.3f s   avg iteration %.3f s\n", res.Total, res.AvgIter)
 	fmt.Printf("  halo traffic %.2f GB in %d messages\n", res.NetBytes/float64(1<<30), res.NetMessages)
+	if *auditOn {
+		var violations int64
+		for i, nd := range c.Nodes {
+			nd.MG.Auditor().CheckQuiescent()
+			snap, ok := nd.MG.AuditSnapshot()
+			if !ok {
+				continue
+			}
+			snap.Label = fmt.Sprintf("node %d", i)
+			out, err := json.MarshalIndent(snap, "", "  ")
+			if err != nil {
+				log.Fatalf("marshal audit snapshot: %v", err)
+			}
+			fmt.Printf("audit[node %d]: %s\n", i, out)
+			violations += snap.ViolationCount
+		}
+		if violations > 0 {
+			log.Fatalf("audit: %d invariant violation(s) detected", violations)
+		}
+	}
 }

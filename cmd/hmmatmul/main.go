@@ -6,6 +6,7 @@
 //	hmmatmul -fig 9 [-scale full|small]       # strategy sweep (Fig 9)
 //	hmmatmul -mode single -total 54           # one run, size in GB
 //	hmmatmul -mode multi -total 24 -audit     # with invariant audit + JSON metrics
+//	hmmatmul -mode multi -total 24 -adapt     # adaptive run with convergence trace
 package main
 
 import (
@@ -14,6 +15,7 @@ import (
 	"fmt"
 	"log"
 
+	"github.com/hetmem/hetmem/internal/adapt"
 	"github.com/hetmem/hetmem/internal/core"
 	"github.com/hetmem/hetmem/internal/exp"
 	"github.com/hetmem/hetmem/internal/kernels"
@@ -28,6 +30,7 @@ func main() {
 	total := flag.Int64("total", 24, "total working set in GB (A+B+C)")
 	grid := flag.Int("grid", 16, "block grid side G")
 	auditOn := flag.Bool("audit", false, "enable the invariant auditor and print a JSON metrics snapshot")
+	adaptOn := flag.Bool("adapt", false, "attach the online adaptive controller and print its convergence trace")
 	flag.Parse()
 
 	scale := exp.Full
@@ -51,15 +54,26 @@ func main() {
 	cfg.Grid = *grid
 	opts := core.DefaultOptions(mode)
 	opts.Audit = *auditOn
+	opts.Metrics = *auditOn || *adaptOn
 	env := kernels.NewEnv(kernels.EnvConfig{
 		Spec:   exp.Full.Machine(),
 		NumPEs: cfg.NumPEs,
 		Opts:   opts,
+		Trace:  *adaptOn,
 	})
 	defer env.Close()
 	app, err := kernels.NewMatMul(env.MG, cfg)
 	if err != nil {
 		log.Fatal(err)
+	}
+	var ctl *adapt.Controller
+	if *adaptOn {
+		// MatMul has no iteration barriers: sample completion windows.
+		ctl, err = adapt.New(env.MG, adapt.Config{SampleEvery: 2 * cfg.NumPEs})
+		if err != nil {
+			log.Fatal(err)
+		}
+		ctl.Attach()
 	}
 	t, err := app.Run()
 	if err != nil {
@@ -70,6 +84,9 @@ func main() {
 	fmt.Printf("  total time %8.3f s\n", t)
 	fmt.Printf("  fetches    %8d (%.1f GB)\n", st.Fetches, st.BytesFetched/float64(1<<30))
 	fmt.Printf("  evictions  %8d (%.1f GB)\n", st.Evictions, st.BytesEvicted/float64(1<<30))
+	if ctl != nil {
+		fmt.Printf("adaptive controller (settled window %d):\n%s", ctl.ConvergedWindow(), ctl.TraceString())
+	}
 	if snap, ok := env.MG.AuditSnapshot(); ok {
 		snap.Label = fmt.Sprintf("matmul %s %dGB", mode, *total)
 		out, err := json.MarshalIndent(snap, "", "  ")

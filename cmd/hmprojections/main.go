@@ -4,10 +4,11 @@
 //
 // Usage:
 //
-//	hmprojections [-scale full|small] [-timelines] [-json dir]
+//	hmprojections [-scale full|small] [-timelines] [-json dir] [-audit]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -25,17 +26,35 @@ func main() {
 	scaleName := flag.String("scale", "small", "experiment scale: full or small (timelines are readable at small)")
 	timelines := flag.Bool("timelines", true, "print ASCII activity timelines")
 	jsonDir := flag.String("json", "", "directory to write per-strategy span logs (Projections JSON export)")
+	auditOn := flag.Bool("audit", false, "enable the invariant auditor and print JSON metrics per run")
 	flag.Parse()
 
 	scale := exp.Full
 	if *scaleName == "small" {
 		scale = exp.Small
 	}
+	if *auditOn {
+		exp.SetAudit(true)
+	}
 	r, err := exp.RunFig56(scale)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println(r.Table())
+	if *auditOn {
+		snaps, violations := exp.DrainAudit()
+		for i := range snaps {
+			snaps[i].Label = fmt.Sprintf("fig56 run %d", i)
+		}
+		out, err := json.MarshalIndent(snaps, "", "  ")
+		if err != nil {
+			log.Fatalf("marshal audit snapshots: %v", err)
+		}
+		fmt.Printf("audit: %s\n", out)
+		if violations > 0 {
+			log.Fatalf("audit: %d invariant violation(s) detected", violations)
+		}
+	}
 	if *timelines {
 		for _, mode := range []core.Mode{core.Baseline, core.SingleIO, core.NoIO, core.MultiIO} {
 			fmt.Printf("--- %s ---\n%s\n", mode, r.Runs[mode].Timeline)

@@ -4,13 +4,18 @@
 //
 // Usage:
 //
-//	hmrepro [-scale full|small] [-skip-ext] [-audit]
+//	hmrepro [-scale full|small] [-skip-ext] [-audit] [-adapt] [-bench-adapt file]
 //
 // With -audit every simulated run carries the invariant auditor from
 // internal/audit: conservation laws are checked continuously, the
 // watchdog reports silent stalls, and one JSON metrics snapshot per run
 // is printed after each figure. Any invariant violation makes the
 // command exit nonzero.
+//
+// -adapt runs only X9, the online adaptive controller against the
+// fixed-configuration grid (adaptive runs always carry the auditor).
+// -bench-adapt additionally writes the X9 comparison as a JSON
+// benchmark snapshot (adaptive vs best and worst fixed per point).
 package main
 
 import (
@@ -30,6 +35,8 @@ func main() {
 	scaleName := flag.String("scale", "full", "experiment scale: full (paper sizes) or small (1/8 slice)")
 	skipExt := flag.Bool("skip-ext", false, "skip the extension experiments X1-X4")
 	auditOn := flag.Bool("audit", false, "enable the invariant auditor and print JSON metrics per run")
+	adaptOnly := flag.Bool("adapt", false, "run only X9: the online adaptive controller vs fixed configurations")
+	benchAdapt := flag.String("bench-adapt", "", "write the X9 result to this file as a JSON benchmark snapshot")
 	flag.Parse()
 
 	scale, err := parseScale(*scaleName)
@@ -38,6 +45,17 @@ func main() {
 	}
 	if *auditOn {
 		exp.SetAudit(true)
+	}
+
+	// X9's result is kept for -bench-adapt emission after the tables.
+	var x9 *exp.X9Result
+	runX9 := func() (fmt.Stringer, error) {
+		r, err := exp.RunX9(scale)
+		if err != nil {
+			return nil, err
+		}
+		x9 = r
+		return r.Table(), nil
 	}
 
 	type figure struct {
@@ -62,7 +80,11 @@ func main() {
 			figure{"X6", func() (fmt.Stringer, error) { return tbl(exp.RunAblationPrefetchDepth(scale)) }},
 			figure{"X7", func() (fmt.Stringer, error) { return tbl(exp.RunLoadBalance(scale)) }},
 			figure{"X8", func() (fmt.Stringer, error) { return tbl(exp.RunCluster(scale)) }},
+			figure{"X9", runX9},
 		)
+	}
+	if *adaptOnly {
+		figures = []figure{{"X9", runX9}}
 	}
 
 	fmt.Printf("hetmem reproduction — %s scale\n\n", scale)
@@ -78,6 +100,19 @@ func main() {
 			totalViolations += reportAudit(f.name)
 		}
 		fmt.Fprintf(os.Stderr, "[%s done in %v]\n", f.name, time.Since(start).Round(time.Millisecond))
+	}
+	if *benchAdapt != "" {
+		if x9 == nil {
+			log.Fatal("-bench-adapt needs the X9 figure (drop -skip-ext or pass -adapt)")
+		}
+		out, err := json.MarshalIndent(x9.Bench(), "", "  ")
+		if err != nil {
+			log.Fatalf("bench-adapt: %v", err)
+		}
+		if err := os.WriteFile(*benchAdapt, append(out, '\n'), 0o644); err != nil {
+			log.Fatalf("bench-adapt: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "[bench snapshot written to %s]\n", *benchAdapt)
 	}
 	if totalViolations > 0 {
 		log.Fatalf("audit: %d invariant violation(s) detected", totalViolations)

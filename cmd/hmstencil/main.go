@@ -6,13 +6,17 @@
 //	hmstencil -fig 8 [-scale full|small]     # strategy sweep (Fig 8)
 //	hmstencil -fig 2                          # HBM vs DDR4 (Fig 2)
 //	hmstencil -mode multi -reduced 4 -total 32  # one run, sizes in GB
+//	hmstencil -mode single -adapt             # adaptive run with convergence trace
+//	hmstencil -mode multi -audit              # invariant audit + JSON metrics
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 
+	"github.com/hetmem/hetmem/internal/adapt"
 	"github.com/hetmem/hetmem/internal/core"
 	"github.com/hetmem/hetmem/internal/exp"
 	"github.com/hetmem/hetmem/internal/kernels"
@@ -27,6 +31,8 @@ func main() {
 	reduced := flag.Int64("reduced", 4, "reduced working set in GB")
 	total := flag.Int64("total", 32, "total working set in GB")
 	iters := flag.Int("iters", 4, "outer iterations")
+	auditOn := flag.Bool("audit", false, "enable the invariant auditor and print a JSON metrics snapshot")
+	adaptOn := flag.Bool("adapt", false, "attach the online adaptive controller and print its convergence trace")
 	flag.Parse()
 
 	scale := exp.Full
@@ -55,15 +61,31 @@ func main() {
 		cfg.ReducedBytes = *reduced << 30
 		cfg.TotalBytes = *total << 30
 		cfg.Iterations = *iters
+		opts := core.DefaultOptions(mode)
+		opts.Audit = *auditOn
+		opts.Metrics = *auditOn || *adaptOn
 		env := kernels.NewEnv(kernels.EnvConfig{
 			Spec:   exp.Full.Machine(),
 			NumPEs: cfg.NumPEs,
-			Opts:   core.DefaultOptions(mode),
+			Opts:   opts,
+			Trace:  *adaptOn,
 		})
 		defer env.Close()
 		app, err := kernels.NewStencil(env.MG, cfg)
 		if err != nil {
 			log.Fatal(err)
+		}
+		var ctl *adapt.Controller
+		if *adaptOn {
+			ctl, err = adapt.New(env.MG, adapt.Config{})
+			if err != nil {
+				log.Fatal(err)
+			}
+			ctl.Attach()
+			app.OnIteration = func(_ int, resume func()) {
+				ctl.Barrier()
+				resume()
+			}
 		}
 		t, err := app.Run()
 		if err != nil {
@@ -75,6 +97,20 @@ func main() {
 		fmt.Printf("  total time    %8.3f s (avg iteration %.3f s)\n", t, app.AvgIterTime())
 		fmt.Printf("  fetches       %8d (%.1f GB)\n", st.Fetches, st.BytesFetched/float64(1<<30))
 		fmt.Printf("  evictions     %8d (%.1f GB)\n", st.Evictions, st.BytesEvicted/float64(1<<30))
+		if ctl != nil {
+			fmt.Printf("adaptive controller (settled window %d):\n%s", ctl.ConvergedWindow(), ctl.TraceString())
+		}
+		if snap, ok := env.MG.AuditSnapshot(); ok {
+			snap.Label = fmt.Sprintf("stencil %s %dGB", mode, *total)
+			out, err := json.MarshalIndent(snap, "", "  ")
+			if err != nil {
+				log.Fatalf("marshal audit snapshot: %v", err)
+			}
+			fmt.Printf("audit: %s\n", out)
+			if snap.ViolationCount > 0 {
+				log.Fatalf("audit: %d invariant violation(s) detected", snap.ViolationCount)
+			}
+		}
 	default:
 		log.Fatalf("unknown figure %d (want 2 or 8)", *fig)
 	}

@@ -34,6 +34,7 @@
 package hetmem
 
 import (
+	"github.com/hetmem/hetmem/internal/adapt"
 	"github.com/hetmem/hetmem/internal/charm"
 	"github.com/hetmem/hetmem/internal/core"
 	"github.com/hetmem/hetmem/internal/kernels"
@@ -188,6 +189,33 @@ func NewManager(rt *Runtime, opts Options) *Manager { return core.NewManager(rt,
 
 // DefaultOptions returns the paper-faithful configuration for a mode.
 func DefaultOptions(mode Mode) Options { return core.DefaultOptions(mode) }
+
+// --- online adaptive controller ---
+
+type (
+	// Observer receives task-completion callbacks from a Manager.
+	Observer = core.Observer
+	// AdaptController tunes a Manager's strategy knobs online from
+	// runtime feedback (wait shares, HBM pressure, retry counters).
+	AdaptController = adapt.Controller
+	// AdaptConfig parameterises the controller's policies.
+	AdaptConfig = adapt.Config
+	// AdaptFeedback is one sampled feedback window.
+	AdaptFeedback = adapt.Feedback
+	// AdaptDecision records one controller action for tracing.
+	AdaptDecision = adapt.Decision
+)
+
+// NewAdaptController builds a controller for mg; call Attach to start
+// observing and wire Barrier into the app's iteration hook. The
+// manager must run a movement mode with Options.Metrics and a Tracer.
+func NewAdaptController(mg *Manager, cfg AdaptConfig) (*AdaptController, error) {
+	return adapt.New(mg, cfg)
+}
+
+// DefaultAdaptConfig returns the controller defaults (also used for
+// any zero fields in a custom AdaptConfig).
+func DefaultAdaptConfig() AdaptConfig { return adapt.DefaultConfig() }
 
 // --- evaluation applications ---
 

@@ -45,6 +45,11 @@ type Config struct {
 	Queues int
 	// Probe reads the live counters; required for capacity checks.
 	Probe func() Probe
+	// Metrics is the counter collector snapshots are filled from. New
+	// creates one when nil, so an auditor always has metrics behind it;
+	// owners that share a collector with other consumers (the adaptive
+	// controller) pass their own.
+	Metrics *Metrics
 	// MaxViolations caps the stored violation list (default 64); the
 	// total count keeps incrementing past the cap.
 	MaxViolations int
@@ -141,32 +146,34 @@ func (r *StallReport) String() string {
 // fills in the fields it knows (Mode, Label, task counts); the auditor
 // fills in everything it tracked.
 type Snapshot struct {
-	Label           string      `json:"label,omitempty"`
-	Mode            string      `json:"mode,omitempty"`
-	Time            float64     `json:"virtual_time_s"`
-	HBMBudget       int64       `json:"hbm_budget_bytes"`
-	HBMHighWater    int64       `json:"hbm_high_water_bytes"`
-	ReservedPeak    int64       `json:"reserved_peak_bytes"`
-	Fetches         int64       `json:"fetches"`
-	Evictions       int64       `json:"evictions"`
-	BytesFetched    int64       `json:"bytes_fetched"`
-	BytesEvicted    int64       `json:"bytes_evicted"`
-	StageRetries    int64       `json:"stage_retries"`
-	ForcedEvictions int64       `json:"forced_evictions"`
-	TasksStaged     int64       `json:"tasks_staged"`
-	TasksInline     int64       `json:"tasks_inline"`
-	QueueDepthPeak  []int       `json:"queue_depth_peak"`
-	InflightPeak    []int       `json:"inflight_peak"`
-	FetchHist       Histogram   `json:"fetch_hist"`
-	EvictHist       Histogram   `json:"evict_hist"`
-	ViolationCount  int64       `json:"violation_count"`
-	Violations      []Violation `json:"violations,omitempty"`
+	Label           string       `json:"label,omitempty"`
+	Mode            string       `json:"mode,omitempty"`
+	Time            float64      `json:"virtual_time_s"`
+	HBMBudget       int64        `json:"hbm_budget_bytes"`
+	HBMHighWater    int64        `json:"hbm_high_water_bytes"`
+	ReservedPeak    int64        `json:"reserved_peak_bytes"`
+	Fetches         int64        `json:"fetches"`
+	Evictions       int64        `json:"evictions"`
+	BytesFetched    int64        `json:"bytes_fetched"`
+	BytesEvicted    int64        `json:"bytes_evicted"`
+	StageRetries    int64        `json:"stage_retries"`
+	ForcedEvictions int64        `json:"forced_evictions"`
+	TasksStaged     int64        `json:"tasks_staged"`
+	TasksInline     int64        `json:"tasks_inline"`
+	QueueDepthPeak  []int        `json:"queue_depth_peak"`
+	InflightPeak    []int        `json:"inflight_peak"`
+	FetchHist       Histogram    `json:"fetch_hist"`
+	EvictHist       Histogram    `json:"evict_hist"`
+	ViolationCount  int64        `json:"violation_count"`
+	Violations      []Violation  `json:"violations,omitempty"`
 	Stall           *StallReport `json:"stall,omitempty"`
 }
 
-// Auditor tracks the shadow ledger and metrics for one manager. All
-// methods are safe on a nil receiver (no-ops), so callers hold a plain
-// possibly-nil pointer.
+// Auditor tracks the shadow ledger and the invariants for one manager.
+// The cheap metrics counters live in the companion Metrics type (the
+// adaptive layer samples those without the ledger); the auditor only
+// reads them to fill snapshots. All methods are safe on a nil receiver
+// (no-ops), so callers hold a plain possibly-nil pointer.
 type Auditor struct {
 	eng *sim.Engine
 	cfg Config
@@ -179,20 +186,6 @@ type Auditor struct {
 	bytesReserved int64 // total bytes ever granted by reserveCapacity
 	bytesConsumed int64 // reservation bytes converted into fetches
 	bytesRefunded int64 // reservation bytes returned by aborts
-
-	// Metrics.
-	hbmHighWater    int64
-	reservedPeak    int64
-	fetches         int64
-	evictions       int64
-	bytesFetched    int64
-	bytesEvicted    int64
-	stageRetries    int64
-	forcedEvictions int64
-	queueDepthPeak  []int
-	inflightPeak    []int
-	fetchHist       Histogram
-	evictHist       Histogram
 
 	violationCount int64
 	violations     []Violation
@@ -208,14 +201,18 @@ func New(eng *sim.Engine, cfg Config) *Auditor {
 	if cfg.Queues < 0 {
 		cfg.Queues = 0
 	}
-	return &Auditor{
-		eng:            eng,
-		cfg:            cfg,
-		queueDepthPeak: make([]int, cfg.Queues),
-		inflightPeak:   make([]int, cfg.Queues),
-		fetchHist:      newDurationHist(),
-		evictHist:      newDurationHist(),
+	if cfg.Metrics == nil {
+		cfg.Metrics = NewMetrics(eng, cfg.Queues)
 	}
+	return &Auditor{eng: eng, cfg: cfg}
+}
+
+// Metrics returns the counter collector behind this auditor.
+func (a *Auditor) Metrics() *Metrics {
+	if a == nil {
+		return nil
+	}
+	return a.cfg.Metrics
 }
 
 // now returns the current virtual time.
@@ -267,12 +264,6 @@ func (a *Auditor) CheckNow() {
 	if pr.Reserved < 0 {
 		a.Violate("reservation-negative", "reserved=%d", pr.Reserved)
 	}
-	if pr.HBMUsed > a.hbmHighWater {
-		a.hbmHighWater = pr.HBMUsed
-	}
-	if pr.Reserved > a.reservedPeak {
-		a.reservedPeak = pr.Reserved
-	}
 	if pr.HBMUsed+pr.Reserved > a.cfg.Budget {
 		a.Violate("capacity", "used %d + reserved %d exceeds budget %d",
 			pr.HBMUsed, pr.Reserved, a.cfg.Budget)
@@ -311,42 +302,6 @@ func (a *Auditor) RefundReservation(n int64) {
 	a.CheckNow()
 }
 
-// FetchDone records a completed fetch of n bytes taking d virtual
-// seconds.
-func (a *Auditor) FetchDone(n int64, d sim.Time) {
-	if a == nil {
-		return
-	}
-	a.fetches++
-	a.bytesFetched += n
-	a.fetchHist.observe(d)
-	a.CheckNow()
-}
-
-// EvictDone records a completed eviction of n bytes taking d virtual
-// seconds; forced marks an eviction of a block a queued task still
-// needed.
-func (a *Auditor) EvictDone(n int64, d sim.Time, forced bool) {
-	if a == nil {
-		return
-	}
-	a.evictions++
-	a.bytesEvicted += n
-	if forced {
-		a.forcedEvictions++
-	}
-	a.evictHist.observe(d)
-	a.CheckNow()
-}
-
-// StageRetry records a staging attempt aborted for lack of capacity.
-func (a *Auditor) StageRetry() {
-	if a == nil {
-		return
-	}
-	a.stageRetries++
-}
-
 // Pin adjusts the outstanding pin balance.
 func (a *Auditor) Pin(delta int) {
 	if a == nil {
@@ -380,32 +335,12 @@ func (a *Auditor) PendingUse(delta int) {
 	}
 }
 
-// QueueDepth records the depth of wait queue q after a push, tracking
-// the high-water mark.
-func (a *Auditor) QueueDepth(q, depth int) {
-	if a == nil || q < 0 {
+// CheckInflight verifies PE pe's staged-but-uncompleted task count
+// against the configured prefetch-depth limit (bound > 0), whose
+// violation is the X6 invariant. Peak tracking lives on Metrics.
+func (a *Auditor) CheckInflight(pe, depth, bound int) {
+	if a == nil {
 		return
-	}
-	for len(a.queueDepthPeak) <= q {
-		a.queueDepthPeak = append(a.queueDepthPeak, 0)
-	}
-	if depth > a.queueDepthPeak[q] {
-		a.queueDepthPeak[q] = depth
-	}
-}
-
-// Inflight records PE pe's staged-but-uncompleted task count after a
-// change; bound > 0 is the configured prefetch-depth limit, whose
-// violation is the X6 invariant.
-func (a *Auditor) Inflight(pe, depth, bound int) {
-	if a == nil || pe < 0 {
-		return
-	}
-	for len(a.inflightPeak) <= pe {
-		a.inflightPeak = append(a.inflightPeak, 0)
-	}
-	if depth > a.inflightPeak[pe] {
-		a.inflightPeak[pe] = depth
 	}
 	if bound > 0 && depth > bound {
 		a.Violate("prefetch-depth", "PE %d has %d tasks in flight, bound %d", pe, depth, bound)
@@ -479,29 +414,20 @@ func (a *Auditor) Err() error {
 	return fmt.Errorf("audit: %d invariant violation(s), first: %s", a.violationCount, first)
 }
 
-// Snapshot exports the metrics state. The caller may fill Label, Mode
-// and the task counters it owns.
+// Snapshot exports the audit state with the metrics counters filled in
+// from the companion collector. The caller may fill Label, Mode and the
+// task counters it owns.
 func (a *Auditor) Snapshot() Snapshot {
 	if a == nil {
 		return Snapshot{}
 	}
-	return Snapshot{
-		Time:            a.now(),
-		HBMBudget:       a.cfg.Budget,
-		HBMHighWater:    a.hbmHighWater,
-		ReservedPeak:    a.reservedPeak,
-		Fetches:         a.fetches,
-		Evictions:       a.evictions,
-		BytesFetched:    a.bytesFetched,
-		BytesEvicted:    a.bytesEvicted,
-		StageRetries:    a.stageRetries,
-		ForcedEvictions: a.forcedEvictions,
-		QueueDepthPeak:  append([]int(nil), a.queueDepthPeak...),
-		InflightPeak:    append([]int(nil), a.inflightPeak...),
-		FetchHist:       a.fetchHist,
-		EvictHist:       a.evictHist,
-		ViolationCount:  a.violationCount,
-		Violations:      append([]Violation(nil), a.violations...),
-		Stall:           a.stall,
+	s := Snapshot{
+		Time:           a.now(),
+		HBMBudget:      a.cfg.Budget,
+		ViolationCount: a.violationCount,
+		Violations:     append([]Violation(nil), a.violations...),
+		Stall:          a.stall,
 	}
+	a.cfg.Metrics.fill(&s)
+	return s
 }

@@ -16,16 +16,15 @@ func TestNilAuditorIsSafe(t *testing.T) {
 	a.Reserve(1)
 	a.ConsumeReservation(1)
 	a.RefundReservation(1)
-	a.FetchDone(1, 0.5)
-	a.EvictDone(1, 0.5, true)
-	a.StageRetry()
 	a.Pin(1)
 	a.Claim(-1)
 	a.PendingUse(1)
-	a.QueueDepth(0, 3)
-	a.Inflight(0, 3, 2)
+	a.CheckInflight(0, 3, 2)
 	a.Stall(&StallReport{})
 	a.CheckQuiescent()
+	if a.Metrics() != nil {
+		t.Fatal("nil auditor must have nil metrics")
+	}
 	if !a.Ok() {
 		t.Fatal("nil auditor must be Ok")
 	}
@@ -48,10 +47,10 @@ func TestHistogramBuckets(t *testing.T) {
 		d    float64
 		want int // bucket index
 	}{
-		{1e-6, 0},          // below the first bound
-		{1e-5, 0},          // exactly on a bound lands in its bucket
-		{5e-4, 2},          // between 1e-4 and 1e-3
-		{0.5, 5},           // between 0.1 and 1: bucket bounded above by 1
+		{1e-6, 0},             // below the first bound
+		{1e-5, 0},             // exactly on a bound lands in its bucket
+		{5e-4, 2},             // between 1e-4 and 1e-3
+		{0.5, 5},              // between 0.1 and 1: bucket bounded above by 1
 		{1000, len(h.Bounds)}, // overflow bucket
 	}
 	for _, c := range cases {
@@ -84,6 +83,10 @@ func TestLedgerViolations(t *testing.T) {
 	if !a.Ok() {
 		t.Fatalf("clean sequence flagged: %v", a.Err())
 	}
+	// Peaks come from the companion metrics collector (the owner calls
+	// Pressure wherever the counters move) and flow into the snapshot.
+	a.Metrics().Pressure(0, 60)
+	a.Metrics().Pressure(60, 0)
 	if s := a.Snapshot(); s.HBMHighWater != 60 || s.ReservedPeak != 60 {
 		t.Fatalf("peaks not tracked: %+v", s)
 	}
@@ -120,7 +123,13 @@ func TestQuiescenceChecks(t *testing.T) {
 		rule string
 	}{
 		{"leaked reservation", func(a *Auditor) { a.Reserve(5) }, "quiescence-reserved"},
-		{"double refund", func(a *Auditor) { a.Reserve(5); a.ConsumeReservation(5); a.RefundReservation(0); a.bytesRefunded += 5; a.reserved = 0 }, "quiescence-ledger"},
+		{"double refund", func(a *Auditor) {
+			a.Reserve(5)
+			a.ConsumeReservation(5)
+			a.RefundReservation(0)
+			a.bytesRefunded += 5
+			a.reserved = 0
+		}, "quiescence-ledger"},
 		{"pin leak", func(a *Auditor) { a.Pin(2) }, "quiescence-pins"},
 		{"claim leak", func(a *Auditor) { a.Claim(1) }, "quiescence-claims"},
 		{"pending-use leak", func(a *Auditor) { a.PendingUse(3) }, "quiescence-pending"},
@@ -173,12 +182,16 @@ func TestViolationCap(t *testing.T) {
 // means unlimited.
 func TestInflightBound(t *testing.T) {
 	a := New(nil, Config{Queues: 2})
-	a.Inflight(0, 2, 2)
-	a.Inflight(1, 50, 0) // unlimited
+	m := a.Metrics()
+	m.Inflight(0, 2)
+	a.CheckInflight(0, 2, 2)
+	m.Inflight(1, 50)
+	a.CheckInflight(1, 50, 0) // unlimited
 	if !a.Ok() {
 		t.Fatalf("within-bound flagged: %v", a.Err())
 	}
-	a.Inflight(0, 3, 2)
+	m.Inflight(0, 3)
+	a.CheckInflight(0, 3, 2)
 	if a.Ok() {
 		t.Fatal("over-bound not flagged")
 	}
@@ -188,13 +201,13 @@ func TestInflightBound(t *testing.T) {
 	}
 }
 
-// TestQueueDepthGrows: recording a queue index beyond Config.Queues
-// grows the peak slice instead of panicking.
+// TestQueueDepthGrows: recording a queue index beyond the configured
+// count grows the peak slice instead of panicking.
 func TestQueueDepthGrows(t *testing.T) {
-	a := New(nil, Config{Queues: 1})
-	a.QueueDepth(4, 7)
-	a.QueueDepth(4, 3) // lower depth must not shrink the peak
-	s := a.Snapshot()
+	m := NewMetrics(nil, 1)
+	m.QueueDepth(4, 7)
+	m.QueueDepth(4, 3) // lower depth must not shrink the peak
+	s := m.Snapshot()
 	if len(s.QueueDepthPeak) != 5 || s.QueueDepthPeak[4] != 7 {
 		t.Fatalf("peaks %v", s.QueueDepthPeak)
 	}
@@ -234,10 +247,10 @@ func TestSnapshotJSONRoundTrip(t *testing.T) {
 	a := New(nil, Config{Budget: 1 << 30, Queues: 2})
 	a.Reserve(100)
 	a.ConsumeReservation(100)
-	a.FetchDone(100, 0.02)
-	a.EvictDone(100, 0.01, true)
-	a.StageRetry()
-	a.QueueDepth(1, 4)
+	a.Metrics().FetchDone(100, 0.02)
+	a.Metrics().EvictDone(100, 0.01, true)
+	a.Metrics().StageRetry()
+	a.Metrics().QueueDepth(1, 4)
 	s := a.Snapshot()
 	s.Label = "unit"
 	s.Mode = "multi-io"

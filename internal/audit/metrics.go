@@ -1,0 +1,188 @@
+package audit
+
+import (
+	"github.com/hetmem/hetmem/internal/sim"
+)
+
+// Counters is a cheap point-in-time view of the metrics counters, the
+// feedback vector the adaptive layer samples at iteration barriers.
+// Copying it is a handful of loads — no allocation, no invariant
+// checking — so a controller can take one every iteration without
+// paying the auditor's cost.
+type Counters struct {
+	Fetches         int64
+	Evictions       int64
+	BytesFetched    int64
+	BytesEvicted    int64
+	StageRetries    int64
+	ForcedEvictions int64
+	HBMHighWater    int64
+	ReservedPeak    int64
+}
+
+// Metrics is the counter half of the audit layer, split out of the
+// invariant Auditor so runtime feedback (histograms, peaks, retry
+// counts) can be collected without the shadow ledger and its
+// conservation checks. Like the Auditor, a nil *Metrics is valid and
+// every method on it is a no-op, so the hot paths in internal/core
+// carry a single pointer check when metrics are off.
+//
+// The Auditor holds a *Metrics and fills snapshots from it; enabling
+// audit therefore always enables metrics, but not vice versa.
+type Metrics struct {
+	eng *sim.Engine
+
+	fetches         int64
+	evictions       int64
+	bytesFetched    int64
+	bytesEvicted    int64
+	stageRetries    int64
+	forcedEvictions int64
+	hbmHighWater    int64
+	reservedPeak    int64
+	queueDepthPeak  []int
+	inflightPeak    []int
+	fetchHist       Histogram
+	evictHist       Histogram
+}
+
+// NewMetrics builds a metrics collector tracking queue-depth and
+// inflight peaks for queues wait queues / PEs.
+func NewMetrics(eng *sim.Engine, queues int) *Metrics {
+	if queues < 0 {
+		queues = 0
+	}
+	return &Metrics{
+		eng:            eng,
+		queueDepthPeak: make([]int, queues),
+		inflightPeak:   make([]int, queues),
+		fetchHist:      newDurationHist(),
+		evictHist:      newDurationHist(),
+	}
+}
+
+// FetchDone records a completed fetch of n bytes taking d virtual
+// seconds.
+func (m *Metrics) FetchDone(n int64, d sim.Time) {
+	if m == nil {
+		return
+	}
+	m.fetches++
+	m.bytesFetched += n
+	m.fetchHist.observe(d)
+}
+
+// EvictDone records a completed eviction of n bytes taking d virtual
+// seconds; forced marks an eviction of a block a queued task still
+// needed.
+func (m *Metrics) EvictDone(n int64, d sim.Time, forced bool) {
+	if m == nil {
+		return
+	}
+	m.evictions++
+	m.bytesEvicted += n
+	if forced {
+		m.forcedEvictions++
+	}
+	m.evictHist.observe(d)
+}
+
+// StageRetry records a staging attempt aborted for lack of capacity.
+func (m *Metrics) StageRetry() {
+	if m == nil {
+		return
+	}
+	m.stageRetries++
+}
+
+// Pressure records a point-in-time reading of HBM usage and outstanding
+// reservation, tracking the high-water marks. The owner calls it
+// wherever either counter changes.
+func (m *Metrics) Pressure(used, reserved int64) {
+	if m == nil {
+		return
+	}
+	if used > m.hbmHighWater {
+		m.hbmHighWater = used
+	}
+	if reserved > m.reservedPeak {
+		m.reservedPeak = reserved
+	}
+}
+
+// QueueDepth records the depth of wait queue q after a push, tracking
+// the high-water mark.
+func (m *Metrics) QueueDepth(q, depth int) {
+	if m == nil || q < 0 {
+		return
+	}
+	for len(m.queueDepthPeak) <= q {
+		m.queueDepthPeak = append(m.queueDepthPeak, 0)
+	}
+	if depth > m.queueDepthPeak[q] {
+		m.queueDepthPeak[q] = depth
+	}
+}
+
+// Inflight records PE pe's staged-but-uncompleted task count after a
+// change, tracking the peak. The prefetch-depth bound itself is an
+// invariant and lives on the Auditor (CheckInflight).
+func (m *Metrics) Inflight(pe, depth int) {
+	if m == nil || pe < 0 {
+		return
+	}
+	for len(m.inflightPeak) <= pe {
+		m.inflightPeak = append(m.inflightPeak, 0)
+	}
+	if depth > m.inflightPeak[pe] {
+		m.inflightPeak[pe] = depth
+	}
+}
+
+// Counters returns the cheap counter view.
+func (m *Metrics) Counters() Counters {
+	if m == nil {
+		return Counters{}
+	}
+	return Counters{
+		Fetches:         m.fetches,
+		Evictions:       m.evictions,
+		BytesFetched:    m.bytesFetched,
+		BytesEvicted:    m.bytesEvicted,
+		StageRetries:    m.stageRetries,
+		ForcedEvictions: m.forcedEvictions,
+		HBMHighWater:    m.hbmHighWater,
+		ReservedPeak:    m.reservedPeak,
+	}
+}
+
+// fill copies the metrics state into a snapshot.
+func (m *Metrics) fill(s *Snapshot) {
+	if m == nil {
+		return
+	}
+	if m.eng != nil {
+		s.Time = m.eng.Now()
+	}
+	s.HBMHighWater = m.hbmHighWater
+	s.ReservedPeak = m.reservedPeak
+	s.Fetches = m.fetches
+	s.Evictions = m.evictions
+	s.BytesFetched = m.bytesFetched
+	s.BytesEvicted = m.bytesEvicted
+	s.StageRetries = m.stageRetries
+	s.ForcedEvictions = m.forcedEvictions
+	s.QueueDepthPeak = append([]int(nil), m.queueDepthPeak...)
+	s.InflightPeak = append([]int(nil), m.inflightPeak...)
+	s.FetchHist = m.fetchHist
+	s.EvictHist = m.evictHist
+}
+
+// Snapshot exports the metrics state alone (no audit fields). Owners
+// with an Auditor use its Snapshot instead, which includes the same
+// fields plus violations.
+func (m *Metrics) Snapshot() Snapshot {
+	var s Snapshot
+	m.fill(&s)
+	return s
+}

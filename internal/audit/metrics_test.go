@@ -1,0 +1,62 @@
+package audit
+
+import "testing"
+
+// TestNilMetricsIsSafe: every method on a nil *Metrics must be a no-op,
+// mirroring the nil-auditor contract, so core and the adaptive layer
+// hold a plain possibly-nil pointer.
+func TestNilMetricsIsSafe(t *testing.T) {
+	var m *Metrics
+	m.FetchDone(1, 0.5)
+	m.EvictDone(1, 0.5, true)
+	m.StageRetry()
+	m.Pressure(10, 20)
+	m.QueueDepth(0, 3)
+	m.Inflight(0, 3)
+	if c := m.Counters(); c != (Counters{}) {
+		t.Fatalf("nil metrics counters must be zero: %+v", c)
+	}
+	if s := m.Snapshot(); s.Fetches != 0 {
+		t.Fatal("nil metrics snapshot must be zero")
+	}
+}
+
+// TestMetricsCounters: the cheap counter view tracks every event and
+// the pressure high-water marks.
+func TestMetricsCounters(t *testing.T) {
+	m := NewMetrics(nil, 2)
+	m.FetchDone(100, 0.02)
+	m.FetchDone(50, 0.01)
+	m.EvictDone(100, 0.01, true)
+	m.StageRetry()
+	m.Pressure(80, 20)
+	m.Pressure(40, 60)
+	c := m.Counters()
+	want := Counters{
+		Fetches: 2, Evictions: 1,
+		BytesFetched: 150, BytesEvicted: 100,
+		StageRetries: 1, ForcedEvictions: 1,
+		HBMHighWater: 80, ReservedPeak: 60,
+	}
+	if c != want {
+		t.Fatalf("counters = %+v, want %+v", c, want)
+	}
+	if s := m.Snapshot(); s.FetchHist.N != 2 || s.EvictHist.N != 1 {
+		t.Fatalf("histograms not filled: %+v", s)
+	}
+}
+
+// TestAuditorSharesMetrics: an auditor built over an external collector
+// reports that collector's counters in its snapshot (the adaptive
+// controller and the auditor see one set of numbers).
+func TestAuditorSharesMetrics(t *testing.T) {
+	m := NewMetrics(nil, 1)
+	a := New(nil, Config{Budget: 100, Metrics: m})
+	if a.Metrics() != m {
+		t.Fatal("auditor must expose the shared collector")
+	}
+	m.FetchDone(10, 0.1)
+	if s := a.Snapshot(); s.Fetches != 1 || s.BytesFetched != 10 {
+		t.Fatalf("snapshot missed shared counters: %+v", s)
+	}
+}

@@ -83,11 +83,16 @@ type Options struct {
 	// overlap-vs-capacity-pressure trade-off of §IV-D ("when to
 	// prefetch").
 	PrefetchDepth int
-	// Audit enables the invariant-audit and metrics layer
-	// (internal/audit): conservation checks on every accounting change,
-	// a quiescence watchdog that reports silent stalls, and structured
-	// metrics snapshots via AuditSnapshot.
+	// Audit enables the invariant-audit layer (internal/audit):
+	// conservation checks on every accounting change, a quiescence
+	// watchdog that reports silent stalls, and structured snapshots via
+	// AuditSnapshot. Audit implies Metrics.
 	Audit bool
+	// Metrics enables the cheap counter collector alone (histograms,
+	// peaks, retry counts — the feedback the adaptive controller
+	// samples) without the auditor's shadow ledger and per-event
+	// invariant checks.
+	Metrics bool
 }
 
 // DefaultOptions returns the paper-faithful configuration for a mode.
@@ -116,6 +121,11 @@ type Manager struct {
 	// aud is the optional invariant auditor; nil when Options.Audit is
 	// off (every audit.Auditor method is a no-op on nil).
 	aud *audit.Auditor
+	// met is the optional metrics collector; nil unless Options.Metrics
+	// or Options.Audit is set (nil-safe like the auditor).
+	met *audit.Metrics
+	// obs is the optional runtime observer (the adaptive controller).
+	obs Observer
 
 	// Stats aggregates data-movement activity.
 	Stats struct {
@@ -139,14 +149,18 @@ type Manager struct {
 // NewManager builds a manager for rt under opts and installs it as the
 // runtime's interceptor when the mode moves data.
 func NewManager(rt *charm.Runtime, opts Options) *Manager {
-	if opts.HBMReserve < 0 {
-		panic("core: negative HBM reserve")
+	if err := opts.Validate(); err != nil {
+		panic(err.Error())
 	}
 	m := &Manager{rt: rt, mach: rt.Machine(), opts: opts}
+	if opts.Audit || opts.Metrics {
+		m.met = audit.NewMetrics(rt.Engine(), rt.NumPEs())
+	}
 	if opts.Audit {
 		m.aud = audit.New(rt.Engine(), audit.Config{
-			Budget: m.HBMBudget(),
-			Queues: rt.NumPEs(),
+			Budget:  m.HBMBudget(),
+			Queues:  rt.NumPEs(),
+			Metrics: m.met,
 			Probe: func() audit.Probe {
 				return audit.Probe{HBMUsed: m.hbm().Used(), Reserved: m.reserved}
 			},
@@ -161,22 +175,27 @@ func NewManager(rt *charm.Runtime, opts Options) *Manager {
 	if m.mach.Alloc.MigrateOpCost == 0 {
 		m.mach.Alloc.MigrateOpCost = m.mach.Spec.MigrationOpCost
 	}
-	switch opts.Mode {
+	m.installStrategy()
+	if m.strat != nil {
+		rt.SetInterceptor(m)
+	}
+	return m
+}
+
+// installStrategy builds the scheduling strategy for the current mode.
+// Called at construction and again by Retune on a mode switch.
+func (m *Manager) installStrategy() {
+	switch m.opts.Mode {
 	case DDROnly, Baseline:
 		// No interception: placement only.
+		m.strat = nil
 	case SingleIO:
 		m.strat = newSingleIO(m)
 	case NoIO:
 		m.strat = newNoIO(m)
 	case MultiIO:
 		m.strat = newMultiIO(m)
-	default:
-		panic(fmt.Sprintf("core: unknown mode %v", opts.Mode))
 	}
-	if m.strat != nil {
-		rt.SetInterceptor(m)
-	}
-	return m
 }
 
 // Runtime returns the runtime this manager serves.
@@ -210,8 +229,15 @@ func (m *Manager) reserveCapacity(p *sim.Proc, lane int, need int64) bool {
 		return false
 	}
 	m.reserved += need
+	m.notePressure()
 	m.aud.Reserve(need)
 	return true
+}
+
+// notePressure samples the HBM usage and reservation high-water marks
+// into the metrics collector; called wherever either counter moves.
+func (m *Manager) notePressure() {
+	m.met.Pressure(m.hbm().Used(), m.reserved)
 }
 
 // consumeReservation converts n reserved bytes into an imminent HBM
@@ -221,6 +247,7 @@ func (m *Manager) consumeReservation(n int64) {
 	if m.reserved < 0 {
 		panic("core: reservation underflow")
 	}
+	m.notePressure()
 	m.aud.ConsumeReservation(n)
 }
 
@@ -232,6 +259,7 @@ func (m *Manager) refundReservation(n int64) {
 	if m.reserved < 0 {
 		panic("core: reservation underflow")
 	}
+	m.notePressure()
 	m.aud.RefundReservation(n)
 }
 
@@ -320,7 +348,9 @@ func (m *Manager) fetch(p *sim.Proc, lane int, h *Handle, hasReservation bool) e
 	m.Stats.Fetches++
 	m.Stats.BytesFetched += float64(h.size)
 	m.Stats.FetchTime += d
-	m.aud.FetchDone(h.size, d)
+	m.met.FetchDone(h.size, d)
+	m.notePressure()
+	m.aud.CheckNow()
 	return nil
 }
 
@@ -357,7 +387,8 @@ func (m *Manager) evict(p *sim.Proc, lane int, h *Handle, force bool) {
 	m.Stats.Evictions++
 	m.Stats.BytesEvicted += float64(h.size)
 	m.Stats.EvictTime += d
-	m.aud.EvictDone(h.size, d, forced)
+	m.met.EvictDone(h.size, d, forced)
+	m.aud.CheckNow()
 }
 
 // makeRoom evicts dead (resident, unreferenced) blocks until need bytes
@@ -422,10 +453,12 @@ func (m *Manager) Intercept(p *sim.Proc, pe *charm.PE, t *charm.Task) bool {
 func (m *Manager) PostProcess(p *sim.Proc, pe *charm.PE, t *charm.Task) {
 	m.taskDone(t)
 	ot, _ := t.Ctx.(*OOCTask)
-	if ot == nil {
-		return
+	if ot != nil {
+		m.strat.complete(p, ot)
 	}
-	m.strat.complete(p, ot)
+	if m.obs != nil {
+		m.obs.TaskDone(t)
+	}
 }
 
 // strategy is the scheduling policy plugged into the manager.
@@ -437,14 +470,114 @@ type strategy interface {
 	// complete is post-processing after the entry method ran.
 	complete(p *sim.Proc, ot *OOCTask)
 	// queued snapshots every task parked in the strategy's wait
-	// queues, indexed by queue. Called only from the engine's quiesce
-	// hook, when no process is running, so no locks are needed.
+	// queues, indexed by queue. Called only when no process is running
+	// (the engine's quiesce hook, or a barrier callback via
+	// retuneQuiescent), so no locks are needed.
 	queued() [][]*OOCTask
+}
+
+// Observer receives runtime notifications the adaptive layer hooks.
+// TaskDone fires once per completed task, after the strategy's
+// post-processing, from the worker's process context — implementations
+// may mutate knobs (a Retune that keeps the mode) but must not switch
+// strategies there.
+type Observer interface {
+	TaskDone(t *charm.Task)
+}
+
+// SetObserver installs the runtime observer (nil detaches it).
+func (m *Manager) SetObserver(obs Observer) { m.obs = obs }
+
+// Retune applies a new option set to a running manager. Knob-only
+// changes (IOThreads, PrefetchDepth, EvictLazily) take effect
+// immediately — the strategies read those dynamically — and are safe
+// from any context. A mode change rebuilds the strategy and is only
+// legal between the movement modes (SingleIO, NoIO, MultiIO) at a
+// quiescent point: no task staged or queued anywhere and no handle
+// referenced, the state an application barrier guarantees. The fixed
+// structural fields (HBMReserve, SharedWaitQueue, Audit, Metrics)
+// cannot be retuned.
+func (m *Manager) Retune(o Options) error {
+	if err := o.Validate(); err != nil {
+		return err
+	}
+	cur := m.opts
+	switch {
+	case o.HBMReserve != cur.HBMReserve:
+		return fmt.Errorf("core: Retune cannot change HBMReserve (%d -> %d)", cur.HBMReserve, o.HBMReserve)
+	case o.SharedWaitQueue != cur.SharedWaitQueue:
+		return fmt.Errorf("core: Retune cannot change SharedWaitQueue")
+	case o.Audit != cur.Audit || o.Metrics != cur.Metrics:
+		return fmt.Errorf("core: Retune cannot change Audit/Metrics")
+	}
+	if o.Mode != cur.Mode {
+		if !cur.Mode.Moves() || !o.Mode.Moves() {
+			return fmt.Errorf("core: Retune cannot switch between %v and %v (only movement strategies)", cur.Mode, o.Mode)
+		}
+		if !m.retuneQuiescent() {
+			return fmt.Errorf("core: Retune mode switch %v -> %v outside a quiescent barrier", cur.Mode, o.Mode)
+		}
+		m.opts = o
+		// The old strategy's parked IO processes are abandoned; the
+		// engine reaps them at Close, and the watchdog ignores them
+		// because they hold no tasks.
+		m.installStrategy()
+		return nil
+	}
+	if o.IOThreads != cur.IOThreads {
+		if s, ok := m.strat.(*singleIO); ok {
+			s.setIOThreads(o.IOThreads)
+		}
+	}
+	// PrefetchDepth and EvictLazily are read dynamically at each
+	// staging/release decision; updating the options is enough.
+	m.opts = o
+	return nil
+}
+
+// retuneQuiescent reports whether the staging protocol is at a
+// barrier-quiescent point: every wait queue empty and every handle
+// unreferenced, unclaimed and not in transition. Only called when no
+// process is running (a reduction callback or the quiesce hook), which
+// is what makes the unlocked queue snapshot safe.
+func (m *Manager) retuneQuiescent() bool {
+	if m.strat != nil {
+		for _, q := range m.strat.queued() {
+			if len(q) > 0 {
+				return false
+			}
+		}
+	}
+	for _, h := range m.handles {
+		if h.refs != 0 || h.claims != 0 || h.state == Fetching || h.state == Evicting {
+			return false
+		}
+	}
+	return true
 }
 
 // Auditor returns the invariant auditor, or nil when Options.Audit is
 // off.
 func (m *Manager) Auditor() *audit.Auditor { return m.aud }
+
+// Metrics returns the counter collector, or nil when neither
+// Options.Metrics nor Options.Audit is set.
+func (m *Manager) Metrics() *audit.Metrics { return m.met }
+
+// MetricsSnapshot exports the metrics counters filled in with the
+// manager-side fields; unlike AuditSnapshot it works without the
+// auditor. ok is false when metrics are off.
+func (m *Manager) MetricsSnapshot() (s audit.Snapshot, ok bool) {
+	if m.met == nil {
+		return audit.Snapshot{}, false
+	}
+	s = m.met.Snapshot()
+	s.HBMBudget = m.HBMBudget()
+	s.Mode = m.opts.Mode.String()
+	s.TasksStaged = m.Stats.TasksStaged
+	s.TasksInline = m.Stats.TasksInline
+	return s, true
+}
 
 // AuditSnapshot exports the auditor's metrics, filled in with the
 // manager-side fields. ok is false when auditing is disabled.

@@ -92,7 +92,7 @@ func (s *multiIO) admit(p *sim.Proc, ot *OOCTask) bool {
 	// then woken up by the worker thread."
 	pe := ot.pe.ID()
 	depth := s.wqs[pe].push(p, ot)
-	s.m.aud.QueueDepth(pe, depth)
+	s.m.met.QueueDepth(pe, depth)
 	s.m.Stats.TasksStaged++
 	s.kick(p, pe)
 	return true
@@ -161,7 +161,8 @@ func (s *multiIO) ioLoop(q *sim.Proc, i, lane int) {
 			free := depth == 0 || s.inflight[i] < depth
 			if free {
 				s.inflight[i]++
-				s.m.aud.Inflight(i, s.inflight[i], depth)
+				s.m.met.Inflight(i, s.inflight[i])
+				s.m.aud.CheckInflight(i, s.inflight[i], depth)
 			}
 			s.ioMu[i].Unlock(q)
 			if !free {

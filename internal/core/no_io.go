@@ -36,7 +36,7 @@ func (s *noIO) admit(p *sim.Proc, ot *OOCTask) bool {
 		return false
 	}
 	depth := s.wqs[pe].push(p, ot)
-	s.m.aud.QueueDepth(pe, depth)
+	s.m.met.QueueDepth(pe, depth)
 	s.m.Stats.TasksStaged++
 	return true
 }

@@ -133,7 +133,7 @@ func (ot *OOCTask) stage(p *sim.Proc, lane int) bool {
 	if need > 0 && !m.reserveCapacity(p, lane, need) {
 		// Nothing was granted: clear bookkeeping without refunding.
 		m.Stats.StageRetries++
-		m.aud.StageRetry()
+		m.met.StageRetry()
 		for j := range ot.deps {
 			ot.dropClaim(j)
 		}

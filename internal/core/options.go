@@ -1,0 +1,30 @@
+package core
+
+import "fmt"
+
+// Validate reports configuration errors: negative knobs and knob/mode
+// combinations that would silently misbehave. NewManager and Retune
+// reject invalid options up front so a typo in an experiment driver (or
+// a bad adaptive decision) fails loudly instead of running a different
+// configuration than the one named.
+func (o Options) Validate() error {
+	switch {
+	case o.Mode < DDROnly || o.Mode > MultiIO:
+		return fmt.Errorf("core: unknown mode %v", o.Mode)
+	case o.HBMReserve < 0:
+		return fmt.Errorf("core: negative HBM reserve %d", o.HBMReserve)
+	case o.IOThreads < 0:
+		return fmt.Errorf("core: negative IOThreads %d", o.IOThreads)
+	case o.PrefetchDepth < 0:
+		return fmt.Errorf("core: negative PrefetchDepth %d", o.PrefetchDepth)
+	case o.SharedWaitQueue && o.Mode != SingleIO:
+		return fmt.Errorf("core: SharedWaitQueue is only meaningful for SingleIO, not %v", o.Mode)
+	case o.IOThreads > 0 && o.Mode != SingleIO:
+		return fmt.Errorf("core: IOThreads override is only meaningful for SingleIO, not %v (MultiIO always runs one per PE)", o.Mode)
+	case o.PrefetchDepth > 0 && o.Mode != MultiIO:
+		return fmt.Errorf("core: PrefetchDepth is only meaningful for MultiIO, not %v", o.Mode)
+	case o.EvictLazily && !o.Mode.Moves():
+		return fmt.Errorf("core: EvictLazily is meaningless under %v, which never evicts", o.Mode)
+	}
+	return nil
+}

@@ -31,6 +31,14 @@ type singleIO struct {
 	// re-waits even though the kick was meant for work it still owes,
 	// losing the wakeup and stranding the task.
 	gen uint64
+
+	// active is the number of IO threads currently serving passes;
+	// spawned is how many processes exist. setIOThreads retargets the
+	// pool online (the adaptive controller's IOThreads knob): surplus
+	// threads park on the condition variable, missing ones are spawned
+	// on demand.
+	active  int
+	spawned int
 }
 
 func newSingleIO(m *Manager) *singleIO {
@@ -48,11 +56,36 @@ func newSingleIO(m *Manager) *singleIO {
 	if threads <= 0 {
 		threads = 1
 	}
-	for i := 0; i < threads; i++ {
-		lane := m.rt.NumPEs() + i
-		m.rt.Engine().Spawn(fmt.Sprintf("IO%d", i), func(q *sim.Proc) { s.ioLoop(q, lane) })
-	}
+	s.ensureSpawned(threads)
+	s.active = threads
 	return s
+}
+
+// ensureSpawned grows the process pool to n IO threads. Newly spawned
+// threads start parked: they serve no pass until a kick moves gen.
+func (s *singleIO) ensureSpawned(n int) {
+	for s.spawned < n {
+		i := s.spawned
+		lane := s.m.rt.NumPEs() + i
+		s.m.rt.Engine().Spawn(fmt.Sprintf("IO%d", i), func(q *sim.Proc) { s.ioLoop(q, i, lane) })
+		s.spawned++
+	}
+}
+
+// setIOThreads retargets the pool at n serving threads online (n <= 0
+// means the mode's natural count, 1) — the adaptive controller's
+// IOThreads knob. Threads beyond n park in ioLoop's wait guard until
+// re-enabled. Safe from any context: the counter writes are atomic in
+// the cooperative simulation, the generation bump makes freshly enabled
+// threads run a catch-up pass, and Broadcast needs no process.
+func (s *singleIO) setIOThreads(n int) {
+	if n <= 0 {
+		n = 1
+	}
+	s.ensureSpawned(n)
+	s.active = n
+	s.gen++
+	s.ioCond.Broadcast()
 }
 
 func (s *singleIO) name() string { return "single-io" }
@@ -91,7 +124,7 @@ func (s *singleIO) admit(p *sim.Proc, ot *OOCTask) bool {
 		qi = pe
 	}
 	depth := s.queueFor(pe).push(p, ot)
-	s.m.aud.QueueDepth(qi, depth)
+	s.m.met.QueueDepth(qi, depth)
 	s.m.Stats.TasksStaged++
 	s.kick(p)
 	return true
@@ -115,12 +148,13 @@ func (s *singleIO) queued() [][]*OOCTask {
 
 // ioLoop is Algorithm 1: while space remains in HBM, pop the first task
 // of each wait queue in turn, bring in its data, and move it to the run
-// queue; sleep when out of tasks or capacity.
-func (s *singleIO) ioLoop(q *sim.Proc, lane int) {
+// queue; sleep when out of tasks or capacity. Thread id parks whenever
+// the pool is retargeted below it.
+func (s *singleIO) ioLoop(q *sim.Proc, id, lane int) {
 	var seen uint64
 	for {
 		s.ioMu.Lock(q)
-		for s.gen == seen {
+		for s.gen == seen || id >= s.active {
 			s.ioCond.Wait(q)
 		}
 		seen = s.gen

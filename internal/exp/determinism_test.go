@@ -1,0 +1,60 @@
+package exp
+
+import "testing"
+
+// The simulation's claim to reproducibility: every driver is a pure
+// function of (scale, seed). Running a figure twice must produce
+// byte-identical result tables — any divergence means nondeterminism
+// crept into the event engine, the staging protocol, or the adaptive
+// controller's decisions.
+
+func assertDeterministic(t *testing.T, name string, run func() (string, error)) {
+	t.Helper()
+	first, err := run()
+	if err != nil {
+		t.Fatalf("%s (run 1): %v", name, err)
+	}
+	second, err := run()
+	if err != nil {
+		t.Fatalf("%s (run 2): %v", name, err)
+	}
+	if first != second {
+		t.Fatalf("%s: runs diverged\n--- run 1\n%s\n--- run 2\n%s", name, first, second)
+	}
+}
+
+func TestFig8Deterministic(t *testing.T) {
+	SetAudit(false)
+	assertDeterministic(t, "fig8", func() (string, error) {
+		r, err := RunFig8(Small)
+		if err != nil {
+			return "", err
+		}
+		return r.Table().String(), nil
+	})
+}
+
+func TestFig9Deterministic(t *testing.T) {
+	SetAudit(false)
+	assertDeterministic(t, "fig9", func() (string, error) {
+		r, err := RunFig9(Small)
+		if err != nil {
+			return "", err
+		}
+		return r.Table().String(), nil
+	})
+}
+
+// TestX9Deterministic covers the adaptive controller end to end: the
+// rendered table embeds every decision trace, so a single flipped
+// probe or switch shows up as a diff.
+func TestX9Deterministic(t *testing.T) {
+	SetAudit(false)
+	assertDeterministic(t, "x9", func() (string, error) {
+		r, err := RunX9(Small)
+		if err != nil {
+			return "", err
+		}
+		return r.Table().String(), nil
+	})
+}

@@ -291,24 +291,6 @@ func TestAblationEviction(t *testing.T) {
 	}
 }
 
-func TestDeterministicFigures(t *testing.T) {
-	a, err := RunFig8(Small)
-	if err != nil {
-		t.Fatal(err)
-	}
-	b, err := RunFig8(Small)
-	if err != nil {
-		t.Fatal(err)
-	}
-	for i := range a.Rows {
-		for mode, tm := range a.Rows[i].Times {
-			if b.Rows[i].Times[mode] != tm {
-				t.Fatalf("fig8 nondeterministic at row %d mode %v", i, mode)
-			}
-		}
-	}
-}
-
 func TestNVMExtension(t *testing.T) {
 	r, err := RunNVM(Small)
 	if err != nil {

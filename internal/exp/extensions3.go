@@ -49,7 +49,17 @@ func RunCluster(s Scale) (*ClusterResult, error) {
 			return nil, err
 		}
 		defer c.Close()
-		return cluster.RunStencil(c, cluster.StencilConfig{PerNode: perNode, Nodes: nodes})
+		res, err := cluster.RunStencil(c, cluster.StencilConfig{PerNode: perNode, Nodes: nodes})
+		if err != nil {
+			return nil, err
+		}
+		for i, nd := range c.Nodes {
+			nd.MG.Auditor().CheckQuiescent()
+			if aerr := nd.MG.Auditor().Err(); aerr != nil {
+				return nil, fmt.Errorf("node %d: %w", i, aerr)
+			}
+		}
+		return res, nil
 	}
 	var base sim.Time
 	for _, n := range counts {
