@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: ci vet build test race audit bench bench-adapt
+.PHONY: ci vet build test race audit bench bench-adapt bench-evict
 
 # ci is the gate: static checks, build, race-enabled tests, and the
 # audit-enabled figure sweep (every simulated run carries the invariant
@@ -29,3 +29,9 @@ bench:
 # snapshot from the full-scale X9 sweep (adaptive vs the fixed grid).
 bench-adapt:
 	$(GO) run ./cmd/hmrepro -adapt -bench-adapt BENCH_adapt.json
+
+# bench-evict regenerates the committed eviction-policy benchmark
+# snapshot from the full-scale X10 comparison (DeclOrder vs LRU vs
+# Lookahead, plus the adaptive mid-run working-set shift).
+bench-evict:
+	$(GO) run ./cmd/hmrepro -evict -bench-evict BENCH_evict.json

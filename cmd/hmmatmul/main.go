@@ -31,11 +31,20 @@ func main() {
 	grid := flag.Int("grid", 16, "block grid side G")
 	auditOn := flag.Bool("audit", false, "enable the invariant auditor and print a JSON metrics snapshot")
 	adaptOn := flag.Bool("adapt", false, "attach the online adaptive controller and print its convergence trace")
+	policyName := flag.String("evict-policy", "", "eviction victim policy for movement modes: decl, lru or lookahead")
 	flag.Parse()
 
 	scale := exp.Full
 	if *scaleName == "small" {
 		scale = exp.Small
+	}
+	var pol core.EvictPolicy
+	if *policyName != "" {
+		var err error
+		if pol, err = core.ParseEvictPolicy(*policyName); err != nil {
+			log.Fatal(err)
+		}
+		exp.SetEvictPolicy(pol)
 	}
 	if *fig == 9 {
 		r, err := exp.RunFig9(scale)
@@ -55,6 +64,9 @@ func main() {
 	opts := core.DefaultOptions(mode)
 	opts.Audit = *auditOn
 	opts.Metrics = *auditOn || *adaptOn
+	if pol != nil && mode.Moves() {
+		opts.EvictPolicy = pol
+	}
 	env := kernels.NewEnv(kernels.EnvConfig{
 		Spec:   exp.Full.Machine(),
 		NumPEs: cfg.NumPEs,
@@ -82,8 +94,8 @@ func main() {
 	st := env.MG.Stats
 	fmt.Printf("MatMul %s: %d GB total, %dx%d blocks, N=%.0f\n", mode, *total, *grid, *grid, cfg.N())
 	fmt.Printf("  total time %8.3f s\n", t)
-	fmt.Printf("  fetches    %8d (%.1f GB)\n", st.Fetches, st.BytesFetched/float64(1<<30))
-	fmt.Printf("  evictions  %8d (%.1f GB)\n", st.Evictions, st.BytesEvicted/float64(1<<30))
+	fmt.Printf("  fetches    %8d (%.1f GB)\n", st.Fetches, float64(st.BytesFetched)/float64(1<<30))
+	fmt.Printf("  evictions  %8d (%.1f GB)\n", st.Evictions, float64(st.BytesEvicted)/float64(1<<30))
 	if ctl != nil {
 		fmt.Printf("adaptive controller (settled window %d):\n%s", ctl.ConvergedWindow(), ctl.TraceString())
 	}

@@ -5,6 +5,7 @@
 // Usage:
 //
 //	hmrepro [-scale full|small] [-skip-ext] [-audit] [-adapt] [-bench-adapt file]
+//	        [-evict] [-bench-evict file] [-evict-policy decl|lru|lookahead]
 //
 // With -audit every simulated run carries the invariant auditor from
 // internal/audit: conservation laws are checked continuously, the
@@ -16,6 +17,11 @@
 // fixed-configuration grid (adaptive runs always carry the auditor).
 // -bench-adapt additionally writes the X9 comparison as a JSON
 // benchmark snapshot (adaptive vs best and worst fixed per point).
+//
+// -evict runs only X10, the eviction victim-selection comparison
+// (DeclOrder vs LRU vs Lookahead plus the adaptive mid-run shift);
+// -bench-evict writes its JSON snapshot. -evict-policy forces a victim
+// policy on every movement-mode run of the other figures.
 package main
 
 import (
@@ -26,6 +32,7 @@ import (
 	"os"
 	"time"
 
+	"github.com/hetmem/hetmem/internal/core"
 	"github.com/hetmem/hetmem/internal/exp"
 )
 
@@ -37,6 +44,9 @@ func main() {
 	auditOn := flag.Bool("audit", false, "enable the invariant auditor and print JSON metrics per run")
 	adaptOnly := flag.Bool("adapt", false, "run only X9: the online adaptive controller vs fixed configurations")
 	benchAdapt := flag.String("bench-adapt", "", "write the X9 result to this file as a JSON benchmark snapshot")
+	evictOnly := flag.Bool("evict", false, "run only X10: eviction victim selection under pressure + mid-run shift")
+	benchEvict := flag.String("bench-evict", "", "write the X10 result to this file as a JSON benchmark snapshot")
+	policyName := flag.String("evict-policy", "", "force an eviction victim policy on movement-mode runs: decl, lru or lookahead")
 	flag.Parse()
 
 	scale, err := parseScale(*scaleName)
@@ -46,8 +56,16 @@ func main() {
 	if *auditOn {
 		exp.SetAudit(true)
 	}
+	if *policyName != "" {
+		pol, err := core.ParseEvictPolicy(*policyName)
+		if err != nil {
+			log.Fatal(err)
+		}
+		exp.SetEvictPolicy(pol)
+	}
 
-	// X9's result is kept for -bench-adapt emission after the tables.
+	// X9's and X10's results are kept for -bench-* emission after the
+	// tables.
 	var x9 *exp.X9Result
 	runX9 := func() (fmt.Stringer, error) {
 		r, err := exp.RunX9(scale)
@@ -55,6 +73,15 @@ func main() {
 			return nil, err
 		}
 		x9 = r
+		return r.Table(), nil
+	}
+	var x10 *exp.X10Result
+	runX10 := func() (fmt.Stringer, error) {
+		r, err := exp.RunX10(scale)
+		if err != nil {
+			return nil, err
+		}
+		x10 = r
 		return r.Table(), nil
 	}
 
@@ -81,10 +108,14 @@ func main() {
 			figure{"X7", func() (fmt.Stringer, error) { return tbl(exp.RunLoadBalance(scale)) }},
 			figure{"X8", func() (fmt.Stringer, error) { return tbl(exp.RunCluster(scale)) }},
 			figure{"X9", runX9},
+			figure{"X10", runX10},
 		)
 	}
 	if *adaptOnly {
 		figures = []figure{{"X9", runX9}}
+	}
+	if *evictOnly {
+		figures = []figure{{"X10", runX10}}
 	}
 
 	fmt.Printf("hetmem reproduction — %s scale\n\n", scale)
@@ -113,6 +144,19 @@ func main() {
 			log.Fatalf("bench-adapt: %v", err)
 		}
 		fmt.Fprintf(os.Stderr, "[bench snapshot written to %s]\n", *benchAdapt)
+	}
+	if *benchEvict != "" {
+		if x10 == nil {
+			log.Fatal("-bench-evict needs the X10 figure (drop -skip-ext or pass -evict)")
+		}
+		out, err := json.MarshalIndent(x10.Bench(), "", "  ")
+		if err != nil {
+			log.Fatalf("bench-evict: %v", err)
+		}
+		if err := os.WriteFile(*benchEvict, append(out, '\n'), 0o644); err != nil {
+			log.Fatalf("bench-evict: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "[bench snapshot written to %s]\n", *benchEvict)
 	}
 	if totalViolations > 0 {
 		log.Fatalf("audit: %d invariant violation(s) detected", totalViolations)

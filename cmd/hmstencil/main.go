@@ -33,11 +33,20 @@ func main() {
 	iters := flag.Int("iters", 4, "outer iterations")
 	auditOn := flag.Bool("audit", false, "enable the invariant auditor and print a JSON metrics snapshot")
 	adaptOn := flag.Bool("adapt", false, "attach the online adaptive controller and print its convergence trace")
+	policyName := flag.String("evict-policy", "", "eviction victim policy for movement modes: decl, lru or lookahead")
 	flag.Parse()
 
 	scale := exp.Full
 	if *scaleName == "small" {
 		scale = exp.Small
+	}
+	var pol core.EvictPolicy
+	if *policyName != "" {
+		var err error
+		if pol, err = core.ParseEvictPolicy(*policyName); err != nil {
+			log.Fatal(err)
+		}
+		exp.SetEvictPolicy(pol)
 	}
 	switch *fig {
 	case 2:
@@ -64,6 +73,9 @@ func main() {
 		opts := core.DefaultOptions(mode)
 		opts.Audit = *auditOn
 		opts.Metrics = *auditOn || *adaptOn
+		if pol != nil && mode.Moves() {
+			opts.EvictPolicy = pol
+		}
 		env := kernels.NewEnv(kernels.EnvConfig{
 			Spec:   exp.Full.Machine(),
 			NumPEs: cfg.NumPEs,
@@ -95,8 +107,8 @@ func main() {
 		fmt.Printf("Stencil3D %s: total %s, reduced %s, %d chares, %d iterations\n",
 			mode, gb(cfg.TotalBytes), gb(cfg.ReducedBytes), cfg.NumChares(), cfg.Iterations)
 		fmt.Printf("  total time    %8.3f s (avg iteration %.3f s)\n", t, app.AvgIterTime())
-		fmt.Printf("  fetches       %8d (%.1f GB)\n", st.Fetches, st.BytesFetched/float64(1<<30))
-		fmt.Printf("  evictions     %8d (%.1f GB)\n", st.Evictions, st.BytesEvicted/float64(1<<30))
+		fmt.Printf("  fetches       %8d (%.1f GB)\n", st.Fetches, float64(st.BytesFetched)/float64(1<<30))
+		fmt.Printf("  evictions     %8d (%.1f GB)\n", st.Evictions, float64(st.BytesEvicted)/float64(1<<30))
 		if ctl != nil {
 			fmt.Printf("adaptive controller (settled window %d):\n%s", ctl.ConvergedWindow(), ctl.TraceString())
 		}

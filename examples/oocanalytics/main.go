@@ -96,7 +96,7 @@ func main() {
 	fmt.Printf("scanned %d GB x %d waves in %.2f simulated seconds\n",
 		numPartitions*int(partitionSize>>30), numQueries, eng.Now())
 	fmt.Printf("prefetches: %d (%.1f GB), dictionary fetched %d time(s)\n",
-		st.Fetches, st.BytesFetched/float64(hetmem.GB), dict.Fetches)
+		st.Fetches, float64(st.BytesFetched)/float64(hetmem.GB), dict.Fetches)
 	fmt.Println()
 	fmt.Println(tracer.Timeline(100))
 }

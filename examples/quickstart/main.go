@@ -74,8 +74,8 @@ func main() {
 	st := mgr.Stats
 	fmt.Printf("ran %d/%d kernels in %.3f simulated seconds\n", done, nChares, eng.Now())
 	fmt.Printf("prefetches: %d (%.1f GB), evictions: %d (%.1f GB)\n",
-		st.Fetches, st.BytesFetched/float64(hetmem.GB),
-		st.Evictions, st.BytesEvicted/float64(hetmem.GB))
+		st.Fetches, float64(st.BytesFetched)/float64(hetmem.GB),
+		st.Evictions, float64(st.BytesEvicted)/float64(hetmem.GB))
 	fmt.Printf("HBM peak use: %.1f GB of %.1f GB\n",
 		float64(mach.HBM().PeakUsed)/float64(hetmem.GB),
 		float64(mach.HBM().Cap)/float64(hetmem.GB))

@@ -65,5 +65,5 @@ func main() {
 	t, mgr := run(mode)
 	fmt.Printf("%-22s %8.3f s  (speedup %.2fx)\n", mode, t, float64(naive)/float64(t))
 	fmt.Printf("  moved %.1f GB into HBM across %d prefetches\n",
-		mgr.Stats.BytesFetched/float64(hetmem.GB), mgr.Stats.Fetches)
+		float64(mgr.Stats.BytesFetched)/float64(hetmem.GB), mgr.Stats.Fetches)
 }

@@ -166,7 +166,26 @@ type (
 	BlockState = core.BlockState
 	// KernelSpec describes a bandwidth-sensitive kernel's demand.
 	KernelSpec = core.KernelSpec
+	// EvictPolicy orders eviction victims under capacity pressure.
+	EvictPolicy = core.EvictPolicy
 )
+
+// Eviction victim-selection policies for Options.EvictPolicy.
+var (
+	// EvictDeclOrder evicts dead blocks in declaration order (default).
+	EvictDeclOrder = core.DeclOrder
+	// EvictLRU evicts the block with the oldest completed use.
+	EvictLRU = core.LRU
+	// EvictLookahead evicts the block whose next declared use is
+	// farthest away, consulting the wait queues.
+	EvictLookahead = core.Lookahead
+)
+
+// ParseEvictPolicy resolves a policy name ("decl", "lru", "lookahead").
+func ParseEvictPolicy(name string) (EvictPolicy, error) { return core.ParseEvictPolicy(name) }
+
+// EvictPolicies lists the built-in victim policies.
+func EvictPolicies() []EvictPolicy { return core.EvictPolicies() }
 
 // Placement/movement modes, matching the evaluation's bars.
 const (

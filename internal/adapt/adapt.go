@@ -101,6 +101,19 @@ type Config struct {
 	// MaxModeSwitches bounds strategy switches per run (default 1), so
 	// the controller converges instead of oscillating.
 	MaxModeSwitches int
+	// DisableVictimUpgrade turns off the victim-policy rule: by
+	// default, the first post-warmup window showing forced evictions
+	// switches Options.EvictPolicy to core.Lookahead — forced
+	// evictions mean the victim order bounced a block a queued task
+	// needed, and Lookahead is the policy that consults the queues.
+	// Inverted so the zero Config behaves like DefaultConfig.
+	DisableVictimUpgrade bool
+	// ReopenFactor is the relative score degradation versus the
+	// settled baseline that, sustained for two consecutive windows,
+	// makes the settled-phase guard re-open the climb — a mid-run
+	// working-set shift invalidates the settled verdicts (default
+	// 0.5, i.e. 50% slower per task).
+	ReopenFactor float64
 }
 
 // DefaultConfig returns the defaults described on the fields.
@@ -116,6 +129,7 @@ func DefaultConfig() Config {
 		MaxIOThreads:     8,
 		MaxPrefetchDepth: 8,
 		MaxModeSwitches:  1,
+		ReopenFactor:     0.5,
 	}
 }
 
@@ -139,6 +153,7 @@ type Feedback struct {
 	Pressure        float64 `json:"pressure"`
 	StageRetries    int64   `json:"stage_retries"`    // delta this window
 	ForcedEvictions int64   `json:"forced_evictions"` // delta this window
+	Refetches       int64   `json:"refetches"`        // delta this window
 }
 
 // Decision is one controller action, stamped with the feedback that
@@ -198,7 +213,13 @@ type Controller struct {
 	triedDn  bool
 
 	settledAt int // window the climb settled, -1 while running
-	trace     []Decision
+	// shift detector state (settled-phase guard)
+	settledScore float64 // knob baseline captured at settle time
+	shiftRuns    int     // consecutive windows past the reopen bar
+	reopens      int     // times the guard re-opened the climb
+	reopenAt     int     // window of the last reopen, -1 if never
+
+	trace []Decision
 }
 
 // share categories tracked per window (indices into lastCat).
@@ -257,6 +278,9 @@ func New(mg *core.Manager, cfg Config) (*Controller, error) {
 	if cfg.MaxModeSwitches <= 0 {
 		cfg.MaxModeSwitches = def.MaxModeSwitches
 	}
+	if cfg.ReopenFactor <= 0 {
+		cfg.ReopenFactor = def.ReopenFactor
+	}
 	c := &Controller{
 		mg:        mg,
 		tr:        mg.Runtime().Tracer(),
@@ -268,6 +292,7 @@ func New(mg *core.Manager, cfg Config) (*Controller, error) {
 		phase:     pWarm,
 		warmLeft:  cfg.WarmupWindows,
 		settledAt: -1,
+		reopenAt:  -1,
 	}
 	c.buildLadder()
 	return c, nil
@@ -291,8 +316,10 @@ func (c *Controller) TaskDone(t *charm.Task) {
 // quiescent point where strategy switches are legal.
 func (c *Controller) Barrier() { c.sample(true) }
 
-// Trace returns the decisions taken so far.
-func (c *Controller) Trace() []Decision { return c.trace }
+// Trace returns a copy of the decisions taken so far.
+func (c *Controller) Trace() []Decision {
+	return append([]Decision(nil), c.trace...)
+}
 
 // TraceString renders the decision trace compactly, one action per
 // line.
@@ -309,6 +336,13 @@ func (c *Controller) Converged() bool { return c.phase == pSettled }
 
 // ConvergedWindow returns the window at which the climb settled, or -1.
 func (c *Controller) ConvergedWindow() int { return c.settledAt }
+
+// Reopens returns how many times the settled-phase guard re-opened the
+// climb (mid-run workload shifts detected).
+func (c *Controller) Reopens() int { return c.reopens }
+
+// ReopenWindow returns the window of the most recent reopen, or -1.
+func (c *Controller) ReopenWindow() int { return c.reopenAt }
 
 // FinalOptions returns the manager's current (tuned) option set.
 func (c *Controller) FinalOptions() core.Options { return c.mg.Options() }
@@ -426,6 +460,11 @@ func (c *Controller) sample(atBarrier bool) {
 		return
 	}
 
+	// The victim watch also runs in every post-warmup phase: forced
+	// evictions say the victim order is wrong regardless of where the
+	// climb stands, and the fix needs no score window to judge.
+	c.victimWatch(f)
+
 	switch c.phase {
 	case pWarm:
 		c.warmLeft--
@@ -440,7 +479,28 @@ func (c *Controller) sample(atBarrier bool) {
 	case pProbe:
 		c.stepProbe(f, score)
 	case pSettled:
-		c.settledGuard(f)
+		c.settledGuard(f, score)
+	}
+}
+
+// victimWatch upgrades the eviction victim policy when capacity
+// pressure forces the eviction of blocks queued tasks still need:
+// forced evictions mean declaration order is picking wrong victims,
+// and Lookahead is the policy that consults the queues. A one-way
+// ratchet per run — the upgrade never costs anything a downgrade would
+// win back, so no probe window is spent judging it.
+func (c *Controller) victimWatch(f Feedback) {
+	if c.cfg.DisableVictimUpgrade || c.phase == pWarm || f.ForcedEvictions == 0 {
+		return
+	}
+	o := c.mg.Options()
+	if o.EvictPolicy == core.Lookahead {
+		return
+	}
+	o.EvictPolicy = core.Lookahead
+	if err := c.mg.Retune(o); err == nil {
+		c.record(f, "victim-upgrade evict-policy=lookahead (forced %d refetches %d)",
+			f.ForcedEvictions, f.Refetches)
 	}
 }
 
@@ -601,23 +661,55 @@ func (c *Controller) startEvictOrSettle(f Feedback) {
 	c.settle(f)
 }
 
-// settle ends the climb.
+// settle ends the climb, capturing the score baseline the settled-phase
+// shift detector compares against.
 func (c *Controller) settle(f Feedback) {
 	c.phase = pSettled
 	c.settledAt = f.Window
+	c.settledScore = c.knobBase
+	c.shiftRuns = 0
 	o := c.mg.Options()
-	c.record(f, "settled: mode=%v io=%d depth=%d lazy=%v", o.Mode, o.IOThreads, o.PrefetchDepth, o.EvictLazily)
+	victim := "decl"
+	if o.EvictPolicy != nil {
+		victim = o.EvictPolicy.Name()
+	}
+	c.record(f, "settled: mode=%v io=%d depth=%d lazy=%v victim=%s",
+		o.Mode, o.IOThreads, o.PrefetchDepth, o.EvictLazily, victim)
 }
 
-// settledGuard keeps one runtime safety valve after settling: lazy
-// eviction that starts thrashing (capacity retries or forced
-// evictions) reverts to eager.
-func (c *Controller) settledGuard(f Feedback) {
+// settledGuard keeps two runtime safety valves after settling. Lazy
+// eviction that starts thrashing (capacity retries or forced evictions)
+// reverts to eager immediately. And a sustained score collapse — the
+// per-task score degrading past ReopenFactor versus the settled
+// baseline for two consecutive windows, each carrying fresh capacity
+// contention — means the working set shifted under the settled
+// verdicts (X10's scenario), so the guard re-opens the climb: back to
+// pBase, re-baseline, re-probe. The contention requirement keeps
+// workload-shape noise (a parallel tail draining, uneven task weights)
+// from reopening a climb that capacity knobs could not improve anyway.
+func (c *Controller) settledGuard(f Feedback, score float64) {
 	if c.mg.Options().EvictLazily && (f.StageRetries > 0 || f.ForcedEvictions > 0) {
 		if err := c.applyEvict(false); err == nil {
 			c.record(f, "pressure-revert evict=eager (retries %d forced %d)", f.StageRetries, f.ForcedEvictions)
 		}
 	}
+	contended := f.StageRetries > 0 || f.ForcedEvictions > 0
+	if c.settledScore <= 0 || !contended || score <= c.settledScore*(1+c.cfg.ReopenFactor) {
+		c.shiftRuns = 0
+		return
+	}
+	c.shiftRuns++
+	if c.shiftRuns < 2 {
+		return
+	}
+	c.shiftRuns = 0
+	c.reopens++
+	c.reopenAt = f.Window
+	c.settledAt = -1
+	c.record(f, "reopen climb (score %.4g vs settled %.4g, retries %d forced %d)",
+		score, c.settledScore, f.StageRetries, f.ForcedEvictions)
+	c.buildLadder()
+	c.phase = pBase
 }
 
 // feedback computes the window's Feedback; ok is false when the window
@@ -660,6 +752,7 @@ func (c *Controller) feedback() (Feedback, bool) {
 		Pressure:        float64(ctr.HBMHighWater) / float64(c.budget),
 		StageRetries:    ctr.StageRetries - c.lastCtr.StageRetries,
 		ForcedEvictions: ctr.ForcedEvictions - c.lastCtr.ForcedEvictions,
+		Refetches:       ctr.Refetches - c.lastCtr.Refetches,
 	}
 	c.lastTime = now
 	c.lastTasks = c.tasks

@@ -146,27 +146,33 @@ func (r *StallReport) String() string {
 // fills in the fields it knows (Mode, Label, task counts); the auditor
 // fills in everything it tracked.
 type Snapshot struct {
-	Label           string       `json:"label,omitempty"`
-	Mode            string       `json:"mode,omitempty"`
-	Time            float64      `json:"virtual_time_s"`
-	HBMBudget       int64        `json:"hbm_budget_bytes"`
-	HBMHighWater    int64        `json:"hbm_high_water_bytes"`
-	ReservedPeak    int64        `json:"reserved_peak_bytes"`
-	Fetches         int64        `json:"fetches"`
-	Evictions       int64        `json:"evictions"`
-	BytesFetched    int64        `json:"bytes_fetched"`
-	BytesEvicted    int64        `json:"bytes_evicted"`
-	StageRetries    int64        `json:"stage_retries"`
-	ForcedEvictions int64        `json:"forced_evictions"`
-	TasksStaged     int64        `json:"tasks_staged"`
-	TasksInline     int64        `json:"tasks_inline"`
-	QueueDepthPeak  []int        `json:"queue_depth_peak"`
-	InflightPeak    []int        `json:"inflight_peak"`
-	FetchHist       Histogram    `json:"fetch_hist"`
-	EvictHist       Histogram    `json:"evict_hist"`
-	ViolationCount  int64        `json:"violation_count"`
-	Violations      []Violation  `json:"violations,omitempty"`
-	Stall           *StallReport `json:"stall,omitempty"`
+	Label           string  `json:"label,omitempty"`
+	Mode            string  `json:"mode,omitempty"`
+	Time            float64 `json:"virtual_time_s"`
+	HBMBudget       int64   `json:"hbm_budget_bytes"`
+	HBMHighWater    int64   `json:"hbm_high_water_bytes"`
+	ReservedPeak    int64   `json:"reserved_peak_bytes"`
+	Fetches         int64   `json:"fetches"`
+	Evictions       int64   `json:"evictions"`
+	BytesFetched    int64   `json:"bytes_fetched"`
+	BytesEvicted    int64   `json:"bytes_evicted"`
+	StageRetries    int64   `json:"stage_retries"`
+	ForcedEvictions int64   `json:"forced_evictions"`
+	Refetches       int64   `json:"refetches"`
+	EvictPolicy     string  `json:"evict_policy,omitempty"`
+	// PolicyStats splits eviction activity by the victim-selection
+	// policy active when it happened. encoding/json renders map keys
+	// sorted, so snapshots stay byte-deterministic.
+	PolicyStats    map[string]PolicyCounters `json:"evict_policy_stats,omitempty"`
+	TasksStaged    int64                     `json:"tasks_staged"`
+	TasksInline    int64                     `json:"tasks_inline"`
+	QueueDepthPeak []int                     `json:"queue_depth_peak"`
+	InflightPeak   []int                     `json:"inflight_peak"`
+	FetchHist      Histogram                 `json:"fetch_hist"`
+	EvictHist      Histogram                 `json:"evict_hist"`
+	ViolationCount int64                     `json:"violation_count"`
+	Violations     []Violation               `json:"violations,omitempty"`
+	Stall          *StallReport              `json:"stall,omitempty"`
 }
 
 // Auditor tracks the shadow ledger and the invariants for one manager.

@@ -16,8 +16,19 @@ type Counters struct {
 	BytesEvicted    int64
 	StageRetries    int64
 	ForcedEvictions int64
+	Refetches       int64
 	HBMHighWater    int64
 	ReservedPeak    int64
+}
+
+// PolicyCounters attributes eviction activity to the victim-selection
+// policy that was active when it happened, so policy switches mid-run
+// (the adaptive controller's victim-upgrade rule) keep a before/after
+// split and fixed-policy runs get per-policy totals to compare.
+type PolicyCounters struct {
+	Evictions       int64 `json:"evictions"`
+	ForcedEvictions int64 `json:"forced_evictions"`
+	Refetches       int64 `json:"refetches"`
 }
 
 // Metrics is the counter half of the audit layer, split out of the
@@ -38,12 +49,14 @@ type Metrics struct {
 	bytesEvicted    int64
 	stageRetries    int64
 	forcedEvictions int64
+	refetches       int64
 	hbmHighWater    int64
 	reservedPeak    int64
 	queueDepthPeak  []int
 	inflightPeak    []int
 	fetchHist       Histogram
 	evictHist       Histogram
+	policy          map[string]*PolicyCounters
 }
 
 // NewMetrics builds a metrics collector tracking queue-depth and
@@ -85,6 +98,50 @@ func (m *Metrics) EvictDone(n int64, d sim.Time, forced bool) {
 		m.forcedEvictions++
 	}
 	m.evictHist.observe(d)
+}
+
+// Refetch records a fetch of a block that had been resident before,
+// attributed to the named eviction policy (the policy that bounced it).
+func (m *Metrics) Refetch(policy string) {
+	if m == nil {
+		return
+	}
+	m.refetches++
+	m.policyCounters(policy).Refetches++
+}
+
+// PolicyEvict attributes a completed eviction to the named
+// victim-selection policy.
+func (m *Metrics) PolicyEvict(policy string, forced bool) {
+	if m == nil {
+		return
+	}
+	pc := m.policyCounters(policy)
+	pc.Evictions++
+	if forced {
+		pc.ForcedEvictions++
+	}
+}
+
+func (m *Metrics) policyCounters(name string) *PolicyCounters {
+	if m.policy == nil {
+		m.policy = make(map[string]*PolicyCounters)
+	}
+	pc := m.policy[name]
+	if pc == nil {
+		pc = &PolicyCounters{}
+		m.policy[name] = pc
+	}
+	return pc
+}
+
+// PolicyCountersFor returns the counters attributed to the named
+// policy (zero counters when it never acted).
+func (m *Metrics) PolicyCountersFor(name string) PolicyCounters {
+	if m == nil || m.policy[name] == nil {
+		return PolicyCounters{}
+	}
+	return *m.policy[name]
 }
 
 // StageRetry records a staging attempt aborted for lack of capacity.
@@ -151,6 +208,7 @@ func (m *Metrics) Counters() Counters {
 		BytesEvicted:    m.bytesEvicted,
 		StageRetries:    m.stageRetries,
 		ForcedEvictions: m.forcedEvictions,
+		Refetches:       m.refetches,
 		HBMHighWater:    m.hbmHighWater,
 		ReservedPeak:    m.reservedPeak,
 	}
@@ -172,6 +230,13 @@ func (m *Metrics) fill(s *Snapshot) {
 	s.BytesEvicted = m.bytesEvicted
 	s.StageRetries = m.stageRetries
 	s.ForcedEvictions = m.forcedEvictions
+	s.Refetches = m.refetches
+	if len(m.policy) > 0 {
+		s.PolicyStats = make(map[string]PolicyCounters, len(m.policy))
+		for name, pc := range m.policy {
+			s.PolicyStats[name] = *pc
+		}
+	}
 	s.QueueDepthPeak = append([]int(nil), m.queueDepthPeak...)
 	s.InflightPeak = append([]int(nil), m.inflightPeak...)
 	s.FetchHist = m.fetchHist

@@ -170,6 +170,9 @@ type oocApp struct {
 	iters   int
 	curIter int
 	iterEnd []sim.Time
+	// onBarrier, when non-nil, runs at each iteration boundary (the
+	// quiescent point where Retune is legal).
+	onBarrier func()
 }
 
 type oocChare struct{ block *Handle }
@@ -186,6 +189,9 @@ func buildApp(env *env, nChares int, blockSize int64, iters int, shared []*Handl
 	red = env.rt.NewReduction(nChares, func() {
 		app.curIter++
 		app.iterEnd = append(app.iterEnd, env.e.Now())
+		if app.onBarrier != nil {
+			app.onBarrier()
+		}
 		if app.curIter < app.iters {
 			app.arr.Broadcast(-1, app.kern, nil)
 		} else {
@@ -447,7 +453,7 @@ func TestStatsAccounting(t *testing.T) {
 	app := buildApp(env, 4, 512*1024*1024, 2, nil)
 	app.run(t)
 	st := env.mg.Stats
-	if st.BytesFetched != float64(st.Fetches)*512*1024*1024 {
+	if st.BytesFetched != st.Fetches*512*1024*1024 {
 		t.Fatalf("fetch byte accounting inconsistent: %v fetches, %v bytes", st.Fetches, st.BytesFetched)
 	}
 	if st.FetchTime <= 0 || st.EvictTime <= 0 {

@@ -1,0 +1,143 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/hetmem/hetmem/internal/sim"
+)
+
+// EvictPolicy orders eviction candidates: given the dead resident
+// blocks (InHBM, unreferenced, unclaimed), Rank returns them
+// best-victim-first. makeRoom evicts in that order until the requested
+// capacity fits, so the policy decides which resident data is bounced
+// to DDR under pressure — and therefore how much of it must be fetched
+// back (§IV's eviction step, generalised from the implicit
+// declaration-order reclaim of the original runtime).
+//
+// Implementations must return a permutation of cands: makeRoom already
+// filtered out in-use, claimed and in-transition blocks, and eviction
+// re-checks every condition under the block lock, so a policy only
+// chooses order — it can neither add victims nor veto them.
+type EvictPolicy interface {
+	// Name is the stable identifier used in flags, metrics and
+	// snapshots.
+	Name() string
+	// Rank orders cands best-victim-first. cands arrives in
+	// declaration order and may be reordered in place.
+	Rank(v PolicyView, cands []*Handle) []*Handle
+}
+
+// NoNextUse is the lookahead distance of a block no enqueued task
+// declares as a dependence.
+const NoNextUse = int(^uint(0) >> 1)
+
+// PolicyView is the read-only runtime state a policy may consult.
+type PolicyView struct {
+	// Now is the current virtual time.
+	Now sim.Time
+	// NextUse reports how soon a block is needed again by declared
+	// dependences: 0 means a created-or-staged task needs it
+	// imminently, k > 0 means its first consumer sits k deep in a
+	// wait queue, NoNextUse means no enqueued task lists it. The
+	// first call walks the strategy's wait queues under their locks;
+	// the distances are then cached for the rest of the ranking.
+	NextUse func(h *Handle) int
+}
+
+// The built-in policies, as comparable singletons so Options values
+// still compare with ==.
+var (
+	// DeclOrder evicts dead blocks in declaration order, preferring
+	// blocks with no pending uses. Pass 1 of makeRoom is byte-for-byte
+	// the original runtime's reclaim; the preference fixes the forced
+	// pass, which used to evict a pending-use block even when a
+	// later-declared truly-dead block would have freed the space.
+	DeclOrder EvictPolicy = declOrder{}
+	// LRU evicts the block whose last completed use is oldest in
+	// virtual time (Handle.lastUse, stamped at task completion), the
+	// classic recency heuristic.
+	LRU EvictPolicy = lru{}
+	// Lookahead evicts the block whose next declared use is farthest
+	// away, consulting pendingUses and the wait queues — Belady's rule
+	// over the dependence information the runtime already has.
+	Lookahead EvictPolicy = lookahead{}
+)
+
+// EvictPolicies lists the built-in policies in presentation order.
+func EvictPolicies() []EvictPolicy {
+	return []EvictPolicy{DeclOrder, LRU, Lookahead}
+}
+
+// ParseEvictPolicy resolves a policy name from a flag value.
+func ParseEvictPolicy(name string) (EvictPolicy, error) {
+	for _, p := range EvictPolicies() {
+		if p.Name() == name {
+			return p, nil
+		}
+	}
+	return nil, fmt.Errorf("core: unknown eviction policy %q (want decl, lru or lookahead)", name)
+}
+
+type declOrder struct{}
+
+func (declOrder) Name() string { return "decl" }
+
+func (declOrder) Rank(v PolicyView, cands []*Handle) []*Handle {
+	// Stable partition: truly-dead blocks first, pending-use blocks
+	// last, declaration order within each class (cands arrives in
+	// declaration order).
+	sort.SliceStable(cands, func(i, j int) bool {
+		return cands[i].pendingUses == 0 && cands[j].pendingUses > 0
+	})
+	return cands
+}
+
+type lru struct{}
+
+func (lru) Name() string { return "lru" }
+
+func (lru) Rank(v PolicyView, cands []*Handle) []*Handle {
+	// Oldest last use first; declaration order breaks ties (blocks
+	// never used complete with lastUse zero and go first).
+	sort.SliceStable(cands, func(i, j int) bool {
+		return cands[i].lastUse < cands[j].lastUse
+	})
+	return cands
+}
+
+type lookahead struct{}
+
+func (lookahead) Name() string { return "lookahead" }
+
+func (lookahead) Rank(v PolicyView, cands []*Handle) []*Handle {
+	// Farthest next declared use first. Distances are resolved once
+	// up front — NextUse may take queue locks, and a comparator must
+	// not reorder mid-sort as the world advances under it.
+	//
+	// Ties (NoNextUse in particular) break by last use, most recent
+	// first: the queues only show the current iteration, and in the
+	// iterative programs this runtime hosts, a block released longest
+	// ago is the one coming back soonest next iteration. Declaration
+	// order breaks ties among dead blocks to Belady's worst case on a
+	// cyclic sweep — every victim is refetched before the blocks kept.
+	dist := make([]int, len(cands))
+	for i, h := range cands {
+		dist[i] = v.NextUse(h)
+	}
+	idx := make([]int, len(cands))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		if dist[idx[a]] != dist[idx[b]] {
+			return dist[idx[a]] > dist[idx[b]]
+		}
+		return cands[idx[a]].lastUse > cands[idx[b]].lastUse
+	})
+	out := make([]*Handle, len(cands))
+	for i, j := range idx {
+		out[i] = cands[j]
+	}
+	return out
+}

@@ -75,6 +75,10 @@ type Handle struct {
 	// bounced to DDR and back (matmul's accumulated C blocks and
 	// shared stage panels).
 	pendingUses int
+	// lastUse is the virtual time at which a task depending on this
+	// block most recently completed; the LRU eviction policy orders
+	// victims by it.
+	lastUse sim.Time
 
 	// Stats.
 	Fetches   int64

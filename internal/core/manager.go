@@ -76,6 +76,11 @@ type Options struct {
 	// queue (ablation X2: the load-imbalance configuration the paper
 	// argues against). Only meaningful for SingleIO.
 	SharedWaitQueue bool
+	// EvictPolicy orders eviction victims when capacity must be
+	// reclaimed (makeRoom): DeclOrder (default), LRU or Lookahead.
+	// Read dynamically at each reclaim, so Retune can switch it
+	// online. Nil means DeclOrder.
+	EvictPolicy EvictPolicy
 	// PrefetchDepth bounds how many tasks per PE may be staged (in
 	// the run queue or executing) at once under MultiIO; 0 means
 	// unlimited, i.e. prefetch as far ahead as HBM capacity allows —
@@ -131,12 +136,15 @@ type Manager struct {
 	Stats struct {
 		Fetches      int64
 		Evictions    int64
-		BytesFetched float64
-		BytesEvicted float64
+		BytesFetched int64
+		BytesEvicted int64
 		FetchTime    sim.Time
 		EvictTime    sim.Time
 		TasksStaged  int64
 		TasksInline  int64
+		// Refetches counts fetches of blocks that had been resident
+		// before — traffic an ideal eviction order would avoid.
+		Refetches int64
 		// StageRetries counts staging attempts aborted for lack of
 		// HBM capacity.
 		StageRetries int64
@@ -296,8 +304,11 @@ func (m *Manager) NewHandle(name string, size int64) *Handle {
 	return h
 }
 
-// Handles returns every handle declared through the manager.
-func (m *Manager) Handles() []*Handle { return m.handles }
+// Handles returns every handle declared through the manager. The slice
+// is a copy; the handles themselves are shared.
+func (m *Manager) Handles() []*Handle {
+	return append([]*Handle(nil), m.handles...)
+}
 
 // ResidentBytes returns the bytes of managed blocks currently in HBM.
 func (m *Manager) ResidentBytes() int64 {
@@ -346,9 +357,13 @@ func (m *Manager) fetch(p *sim.Proc, lane int, h *Handle, hasReservation bool) e
 	h.state = InHBM
 	h.Fetches++
 	m.Stats.Fetches++
-	m.Stats.BytesFetched += float64(h.size)
+	m.Stats.BytesFetched += h.size
 	m.Stats.FetchTime += d
 	m.met.FetchDone(h.size, d)
+	if h.Fetches > 1 {
+		m.Stats.Refetches++
+		m.met.Refetch(m.evictPolicy().Name())
+	}
 	m.notePressure()
 	m.aud.CheckNow()
 	return nil
@@ -385,31 +400,109 @@ func (m *Manager) evict(p *sim.Proc, lane int, h *Handle, force bool) {
 	h.state = InDDR
 	h.Evictions++
 	m.Stats.Evictions++
-	m.Stats.BytesEvicted += float64(h.size)
+	m.Stats.BytesEvicted += h.size
 	m.Stats.EvictTime += d
 	m.met.EvictDone(h.size, d, forced)
+	m.met.PolicyEvict(m.evictPolicy().Name(), forced)
 	m.aud.CheckNow()
 }
 
+// evictPolicy returns the configured victim-selection policy.
+func (m *Manager) evictPolicy() EvictPolicy {
+	if m.opts.EvictPolicy != nil {
+		return m.opts.EvictPolicy
+	}
+	return DeclOrder
+}
+
+// evictCandidates snapshots the dead resident blocks (InHBM,
+// unreferenced, unclaimed) in declaration order. The checks run
+// without the block locks — exactly as precise as the declaration-order
+// walk this generalises — because evict re-validates every condition
+// under the lock before moving data.
+func (m *Manager) evictCandidates() []*Handle {
+	var cands []*Handle
+	for _, h := range m.handles {
+		if h.state == InHBM && !h.InUse() && h.claims == 0 {
+			cands = append(cands, h)
+		}
+	}
+	return cands
+}
+
+// queueDistances maps every handle some wait-queued task depends on to
+// the queue position of its first consumer (minimum across queues).
+// Walks each wait queue under its lock; no strategy holds a queue lock
+// while staging, so a staging process may take them here.
+func (m *Manager) queueDistances(p *sim.Proc) map[*Handle]int {
+	dist := make(map[*Handle]int)
+	if m.strat == nil {
+		return dist
+	}
+	m.strat.scanWaiting(p, func(pos int, ot *OOCTask) {
+		for _, d := range ot.deps {
+			if cur, ok := dist[d.h]; !ok || pos < cur {
+				dist[d.h] = pos
+			}
+		}
+	})
+	return dist
+}
+
+// policyView builds the runtime view handed to EvictPolicy.Rank. The
+// queue walk behind NextUse runs at most once per view, on first
+// demand, so policies that never ask (DeclOrder, LRU) pay nothing.
+func (m *Manager) policyView(p *sim.Proc) PolicyView {
+	var dist map[*Handle]int
+	return PolicyView{
+		Now: m.rt.Engine().Now(),
+		NextUse: func(h *Handle) int {
+			if h.pendingUses == 0 {
+				return NoNextUse
+			}
+			if dist == nil {
+				dist = m.queueDistances(p)
+			}
+			if d, ok := dist[h]; ok {
+				return d + 1
+			}
+			// Pending but not in any wait queue: its consumer is
+			// created or already staged — imminent.
+			return 0
+		},
+	}
+}
+
 // makeRoom evicts dead (resident, unreferenced) blocks until need bytes
-// fit in the HBM budget, in declaration order. Under lazy eviction this
-// is the memory pool's reclamation path; under eager eviction it is a
-// liveness backstop for blocks stranded resident by aborted staging
-// attempts. Reports whether enough space was freed.
+// fit in the HBM budget, in the order the configured EvictPolicy ranks
+// them. Under lazy eviction this is the memory pool's reclamation path;
+// under eager eviction it is a liveness backstop for blocks stranded
+// resident by aborted staging attempts. Reports whether enough space
+// was freed.
 func (m *Manager) makeRoom(p *sim.Proc, lane int, need int64) bool {
+	pol := m.evictPolicy()
 	// First pass: blocks no queued task needs. Second pass: any dead
 	// block, even one with pending uses — capacity beats affinity.
+	// Candidates are re-collected for the forced pass because blocks
+	// change state while the first pass blocks on locks and
+	// migrations.
 	for _, force := range []bool{false, true} {
-		for _, h := range m.handles {
+		for _, h := range pol.Rank(m.policyView(p), m.evictCandidates()) {
 			if m.hbmFits(need) {
 				return true
 			}
-			if h.state == InHBM && !h.InUse() && h.claims == 0 {
-				m.evict(p, lane, h, force)
+			if !force && h.pendingUses > 0 {
+				// Pass 1 never takes a pending-use block; skipping
+				// up front spares the no-op lock round-trip.
+				continue
 			}
+			m.evict(p, lane, h, force)
+		}
+		if m.hbmFits(need) {
+			return true
 		}
 	}
-	return m.hbmFits(need)
+	return false
 }
 
 // TaskCreated implements charm.Interceptor: record queued consumers of
@@ -423,14 +516,17 @@ func (m *Manager) TaskCreated(t *charm.Task) {
 	}
 }
 
-// taskDone balances TaskCreated when a task finishes.
+// taskDone balances TaskCreated when a task finishes, stamping each
+// dependence's last-use time for the LRU eviction policy.
 func (m *Manager) taskDone(t *charm.Task) {
+	now := m.rt.Engine().Now()
 	for _, d := range t.Deps {
 		if h, ok := d.Handle.(*Handle); ok && h.mgr == m {
 			if h.pendingUses == 0 {
 				panic("core: pendingUses underflow on " + h.name)
 			}
 			h.pendingUses--
+			h.lastUse = now
 			m.aud.PendingUse(-1)
 		}
 	}
@@ -474,6 +570,11 @@ type strategy interface {
 	// (the engine's quiesce hook, or a barrier callback via
 	// retuneQuiescent), so no locks are needed.
 	queued() [][]*OOCTask
+	// scanWaiting visits every wait-queued task with its position in
+	// its queue, under the queue locks — the Lookahead eviction
+	// policy's view of upcoming declared uses. Callers must not hold
+	// any wait-queue lock.
+	scanWaiting(p *sim.Proc, visit func(pos int, ot *OOCTask))
 }
 
 // Observer receives runtime notifications the adaptive layer hooks.
@@ -489,7 +590,7 @@ type Observer interface {
 func (m *Manager) SetObserver(obs Observer) { m.obs = obs }
 
 // Retune applies a new option set to a running manager. Knob-only
-// changes (IOThreads, PrefetchDepth, EvictLazily) take effect
+// changes (IOThreads, PrefetchDepth, EvictLazily, EvictPolicy) take effect
 // immediately — the strategies read those dynamically — and are safe
 // from any context. A mode change rebuilds the strategy and is only
 // legal between the movement modes (SingleIO, NoIO, MultiIO) at a
@@ -529,8 +630,9 @@ func (m *Manager) Retune(o Options) error {
 			s.setIOThreads(o.IOThreads)
 		}
 	}
-	// PrefetchDepth and EvictLazily are read dynamically at each
-	// staging/release decision; updating the options is enough.
+	// PrefetchDepth, EvictLazily and EvictPolicy are read dynamically
+	// at each staging/release/reclaim decision; updating the options
+	// is enough.
 	m.opts = o
 	return nil
 }
@@ -574,6 +676,7 @@ func (m *Manager) MetricsSnapshot() (s audit.Snapshot, ok bool) {
 	s = m.met.Snapshot()
 	s.HBMBudget = m.HBMBudget()
 	s.Mode = m.opts.Mode.String()
+	s.EvictPolicy = m.evictPolicy().Name()
 	s.TasksStaged = m.Stats.TasksStaged
 	s.TasksInline = m.Stats.TasksInline
 	return s, true
@@ -587,6 +690,7 @@ func (m *Manager) AuditSnapshot() (s audit.Snapshot, ok bool) {
 	}
 	s = m.aud.Snapshot()
 	s.Mode = m.opts.Mode.String()
+	s.EvictPolicy = m.evictPolicy().Name()
 	s.TasksStaged = m.Stats.TasksStaged
 	s.TasksInline = m.Stats.TasksInline
 	return s, true

@@ -207,6 +207,13 @@ func (s *multiIO) releaseSlot(q *sim.Proc, i int) {
 	s.ioMu[i].Unlock(q)
 }
 
+// scanWaiting visits every wait-queued task under the queue locks.
+func (s *multiIO) scanWaiting(p *sim.Proc, visit func(pos int, ot *OOCTask)) {
+	for _, wq := range s.wqs {
+		wq.scan(p, visit)
+	}
+}
+
 // queued implements the watchdog's stuck-task snapshot.
 func (s *multiIO) queued() [][]*OOCTask {
 	out := make([][]*OOCTask, len(s.wqs))

@@ -72,6 +72,13 @@ func (s *noIO) queued() [][]*OOCTask {
 	return out
 }
 
+// scanWaiting visits every wait-queued task under the queue locks.
+func (s *noIO) scanWaiting(p *sim.Proc, visit func(pos int, ot *OOCTask)) {
+	for _, wq := range s.wqs {
+		wq.scan(p, visit)
+	}
+}
+
 // drain stages as many waiting tasks from wq as capacity allows,
 // scheduling each onto its own PE's run queue.
 func (s *noIO) drain(p *sim.Proc, wq *waitQueue) {

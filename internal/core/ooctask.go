@@ -261,6 +261,17 @@ func (wq *waitQueue) len(p *sim.Proc) int {
 	return n
 }
 
+// scan visits each queued task with its queue position under the queue
+// lock (the Lookahead eviction policy's dependence walk). The callback
+// must not touch this queue or block.
+func (wq *waitQueue) scan(p *sim.Proc, visit func(pos int, ot *OOCTask)) {
+	wq.mu.Lock(p)
+	for i, ot := range wq.tasks {
+		visit(i, ot)
+	}
+	wq.mu.Unlock(p)
+}
+
 // quiescentTasks snapshots the queue contents without the lock. Only
 // the engine's quiesce hook may call it: with the event queue drained
 // no process is running, so the unguarded read cannot race.

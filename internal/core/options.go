@@ -25,6 +25,8 @@ func (o Options) Validate() error {
 		return fmt.Errorf("core: PrefetchDepth is only meaningful for MultiIO, not %v", o.Mode)
 	case o.EvictLazily && !o.Mode.Moves():
 		return fmt.Errorf("core: EvictLazily is meaningless under %v, which never evicts", o.Mode)
+	case o.EvictPolicy != nil && !o.Mode.Moves():
+		return fmt.Errorf("core: EvictPolicy is meaningless under %v, which never evicts", o.Mode)
 	}
 	return nil
 }

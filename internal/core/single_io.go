@@ -146,6 +146,13 @@ func (s *singleIO) queued() [][]*OOCTask {
 	return out
 }
 
+// scanWaiting visits every wait-queued task under the queue locks.
+func (s *singleIO) scanWaiting(p *sim.Proc, visit func(pos int, ot *OOCTask)) {
+	for _, wq := range s.wqs {
+		wq.scan(p, visit)
+	}
+}
+
 // ioLoop is Algorithm 1: while space remains in HBM, pop the first task
 // of each wait queue in turn, bring in its data, and move it to the run
 // queue; sleep when out of tasks or capacity. Thread id parks whenever

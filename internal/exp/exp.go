@@ -116,12 +116,25 @@ func DrainAudit() ([]audit.Snapshot, int64) {
 	return snaps, violations
 }
 
+// evictPolicy, when non-nil, is applied to every movement-mode
+// environment the drivers build — the -evict-policy flag and the
+// per-policy determinism/audit sweeps set it. Placement-only modes
+// never evict, so they stay unconfigured (Validate rejects the combo).
+var evictPolicy core.EvictPolicy
+
+// SetEvictPolicy selects the eviction victim policy for subsequent
+// driver runs (nil restores the DeclOrder default).
+func SetEvictPolicy(p core.EvictPolicy) { evictPolicy = p }
+
 // options returns paper-faithful manager options for a mode at this
 // scale.
 func (s Scale) options(mode core.Mode) core.Options {
 	o := core.DefaultOptions(mode)
 	o.HBMReserve = s.HBMReserve()
 	o.Audit = auditOn
+	if evictPolicy != nil && mode.Moves() {
+		o.EvictPolicy = evictPolicy
+	}
 	return o
 }
 

@@ -1,0 +1,327 @@
+package exp
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/hetmem/hetmem/internal/adapt"
+	"github.com/hetmem/hetmem/internal/core"
+	"github.com/hetmem/hetmem/internal/kernels"
+)
+
+// X10 compares the eviction victim-selection policies (DeclOrder, LRU,
+// Lookahead) where they actually disagree — under capacity pressure
+// with queued work — and then checks that the adaptive controller
+// survives a mid-run working-set shift. Two fixed-policy workloads:
+//
+//   - fig8-stencil: the Fig 8 sweep's overflow point (largest reduced
+//     working set) under MultiIO with lazy eviction, where the resident
+//     set cycles through a grid larger than HBM every iteration.
+//   - shift: the working-set-shift program (kernels.ShiftApp) whose
+//     declared dependences widen mid-run from a hot set that fits HBM
+//     to one a third larger than it.
+//
+// The acceptance bar is that Lookahead — which ranks victims by
+// declared next use, walking the wait queues — forces strictly fewer
+// evictions of still-needed blocks and causes strictly fewer refetches
+// than declaration order on both workloads.
+//
+// The adaptive run starts the shift workload on MultiIO eager with the
+// default controller. It must settle during the hot phase, detect the
+// shift (settled-phase guard: score collapse plus contention for two
+// consecutive windows), upgrade the victim policy to Lookahead, re-open
+// the climb and settle again — all audit-clean.
+
+// x10PreIters/x10PostIters size the shift program: enough hot windows
+// for the controller to settle, enough widened windows to re-settle
+// after the reopen.
+const (
+	x10PreIters  = 8
+	x10PostIters = 10
+)
+
+// ShiftConfig sizes the working-set-shift program for the scale: the
+// hot set is 2/3 of the HBM block budget (fits comfortably), the shift
+// doubles it to 4/3 (cannot fit), split over 8 chares per PE — deep
+// enough wait queues that "k tasks ahead of this block's consumer" is
+// real temporal information for the lookahead policy.
+func (s Scale) ShiftConfig() kernels.ShiftConfig {
+	budget := s.Machine().HBMCap - s.HBMReserve()
+	n := 8 * s.NumPEs()
+	block := budget / int64(12*s.NumPEs())
+	return kernels.ShiftConfig{
+		HotBytes:     block * int64(n),
+		ColdBytes:    block * int64(n),
+		NumChares:    n,
+		PreIters:     x10PreIters,
+		PostIters:    x10PostIters,
+		Sweeps:       10,
+		NumPEs:       s.NumPEs(),
+		FlopsPerByte: 1.0,
+	}
+}
+
+// X10Row is one fixed-policy run of one workload.
+type X10Row struct {
+	Workload string // "fig8-stencil" or "shift"
+	Policy   string
+	// Time is the phase the policies differentiate on: total time for
+	// the stencil, post-shift time for the shift program (the hot
+	// phase is identical across policies by construction).
+	Time      float64
+	Fetches   int64
+	Refetches int64
+	Evictions int64
+	Forced    int64
+	Retries   int64
+}
+
+// X10Result is the policy comparison plus the adaptive shift run.
+type X10Result struct {
+	Scale Scale
+	Rows  []X10Row
+
+	// Adaptive-run outcome on the shift workload.
+	AdaptiveTime    float64
+	Reopens         int
+	ReopenWindow    int
+	ConvergedWindow int
+	Final           core.Options
+	Trace           []adapt.Decision
+}
+
+// Row returns the row for a workload/policy pair, or nil.
+func (r *X10Result) Row(workload, policy string) *X10Row {
+	for i := range r.Rows {
+		if r.Rows[i].Workload == workload && r.Rows[i].Policy == policy {
+			return &r.Rows[i]
+		}
+	}
+	return nil
+}
+
+// FinalPolicy names the victim policy the adaptive run ended on.
+func (r *X10Result) FinalPolicy() string {
+	if r.Final.EvictPolicy == nil {
+		return core.DeclOrder.Name()
+	}
+	return r.Final.EvictPolicy.Name()
+}
+
+// x10Options is the fixed-run configuration: MultiIO with lazy
+// eviction (resident blocks persist across iterations, so reclaim has
+// real choices), a bounded prefetch depth, and metrics on for the
+// eviction counters. The depth bound matters: with unlimited prefetch
+// every queued task is staged as soon as capacity allows, so queue
+// position carries no temporal information and no victim choice can
+// dodge the staging wave. Bounded staging is where declared-dependence
+// lookahead has real signal — a block deep in a queue truly is not
+// needed until the tasks ahead of it complete.
+func x10Options(s Scale, pol core.EvictPolicy) core.Options {
+	o := s.options(core.MultiIO)
+	o.EvictLazily = true
+	o.EvictPolicy = pol
+	o.PrefetchDepth = 1
+	o.Metrics = true
+	return o
+}
+
+// x10Snapshot reads the counters of a finished fixed run into a row.
+func x10Snapshot(env *kernels.Env, row *X10Row) error {
+	snap, ok := env.MG.MetricsSnapshot()
+	if !ok {
+		return fmt.Errorf("exp: x10 %s/%s ran without metrics", row.Workload, row.Policy)
+	}
+	row.Fetches = snap.Fetches
+	row.Refetches = snap.Refetches
+	row.Evictions = snap.Evictions
+	row.Forced = snap.ForcedEvictions
+	row.Retries = snap.StageRetries
+	return nil
+}
+
+// runX10Stencil runs the Fig 8 overflow point under one policy.
+func runX10Stencil(s Scale, pol core.EvictPolicy) (X10Row, error) {
+	row := X10Row{Workload: "fig8-stencil", Policy: pol.Name()}
+	sizes := s.StencilReducedSizes()
+	cfg := s.StencilConfig(sizes[len(sizes)-1])
+
+	env := s.newEnv(x10Options(s, pol), false)
+	defer env.Close()
+	app, err := kernels.NewStencil(env.MG, cfg)
+	if err != nil {
+		return row, err
+	}
+	t, err := app.Run()
+	if err != nil {
+		return row, fmt.Errorf("exp: x10 stencil %s: %w", pol.Name(), err)
+	}
+	row.Time = float64(t)
+	return row, x10Snapshot(env, &row)
+}
+
+// runX10Shift runs the shift program under one policy.
+func runX10Shift(s Scale, pol core.EvictPolicy) (X10Row, error) {
+	row := X10Row{Workload: "shift", Policy: pol.Name()}
+	env := s.newEnv(x10Options(s, pol), false)
+	defer env.Close()
+	app, err := kernels.NewShift(env.MG, s.ShiftConfig())
+	if err != nil {
+		return row, err
+	}
+	if _, err := app.Run(); err != nil {
+		return row, fmt.Errorf("exp: x10 shift %s: %w", pol.Name(), err)
+	}
+	row.Time = float64(app.PostShiftTime())
+	return row, x10Snapshot(env, &row)
+}
+
+// RunX10 runs the full comparison at the given scale.
+func RunX10(s Scale) (*X10Result, error) {
+	res := &X10Result{Scale: s, ReopenWindow: -1, ConvergedWindow: -1}
+	for _, pol := range core.EvictPolicies() {
+		row, err := runX10Stencil(s, pol)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	for _, pol := range core.EvictPolicies() {
+		row, err := runX10Shift(s, pol)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, row)
+	}
+
+	// Adaptive run: default controller, barrier sampling, starting on
+	// MultiIO eager with the default victim policy.
+	env := adaptiveEnv(s, s.options(core.MultiIO))
+	defer env.Close()
+	app, err := kernels.NewShift(env.MG, s.ShiftConfig())
+	if err != nil {
+		return nil, err
+	}
+	ctl, err := adapt.New(env.MG, adapt.Config{})
+	if err != nil {
+		return nil, err
+	}
+	ctl.Attach()
+	app.OnIteration = func(_ int, resume func()) {
+		ctl.Barrier()
+		resume()
+	}
+	t, err := app.Run()
+	if err != nil {
+		return nil, fmt.Errorf("exp: x10 adaptive shift: %w", err)
+	}
+	env.MG.Auditor().CheckQuiescent()
+	if err := env.MG.Auditor().Err(); err != nil {
+		return nil, fmt.Errorf("exp: x10 adaptive shift: %w", err)
+	}
+	res.AdaptiveTime = float64(t)
+	res.Reopens = ctl.Reopens()
+	res.ReopenWindow = ctl.ReopenWindow()
+	res.ConvergedWindow = ctl.ConvergedWindow()
+	res.Final = ctl.FinalOptions()
+	res.Trace = ctl.Trace()
+	return res, nil
+}
+
+// Table renders the comparison with the adaptive trace in the notes.
+func (r *X10Result) Table() Table {
+	t := Table{
+		Title: "X10: eviction victim selection under capacity pressure + mid-run shift",
+		Header: []string{"workload", "policy", "time (s)", "fetches", "refetches",
+			"evictions", "forced", "retries"},
+		Notes: []string{
+			"fixed runs: multi-io, lazy eviction; stencil time is total, shift time is post-shift",
+			"forced = evictions of blocks a queued task had declared (wrong victim)",
+		},
+	}
+	for _, row := range r.Rows {
+		t.Rows = append(t.Rows, []string{
+			row.Workload,
+			row.Policy,
+			f3(row.Time),
+			fmt.Sprintf("%d", row.Fetches),
+			fmt.Sprintf("%d", row.Refetches),
+			fmt.Sprintf("%d", row.Evictions),
+			fmt.Sprintf("%d", row.Forced),
+			fmt.Sprintf("%d", row.Retries),
+		})
+	}
+	settled := "no"
+	if r.ConvergedWindow >= 0 {
+		settled = fmt.Sprintf("w%d", r.ConvergedWindow)
+	}
+	reopened := "never"
+	if r.ReopenWindow >= 0 {
+		reopened = fmt.Sprintf("w%d", r.ReopenWindow)
+	}
+	t.Notes = append(t.Notes, fmt.Sprintf(
+		"adaptive shift run: %.3f s total, reopened %s (%d reopens), re-settled %s, landed on %s victim=%s",
+		r.AdaptiveTime, reopened, r.Reopens, settled, describeOptions(r.Final), r.FinalPolicy()))
+	t.Notes = append(t.Notes, "adaptive trace:")
+	for _, d := range r.Trace {
+		t.Notes = append(t.Notes, "  "+d.String())
+	}
+	return t
+}
+
+// X10BenchRow is the JSON snapshot of one fixed run for
+// BENCH_evict.json.
+type X10BenchRow struct {
+	Workload  string  `json:"workload"`
+	Policy    string  `json:"policy"`
+	Time      float64 `json:"time_s"`
+	Fetches   int64   `json:"fetches"`
+	Refetches int64   `json:"refetches"`
+	Evictions int64   `json:"evictions"`
+	Forced    int64   `json:"forced_evictions"`
+	Retries   int64   `json:"stage_retries"`
+}
+
+// X10Bench is the benchmark snapshot emitted by hmrepro -bench-evict.
+type X10Bench struct {
+	Scale           string        `json:"scale"`
+	Rows            []X10BenchRow `json:"rows"`
+	AdaptiveTime    float64       `json:"adaptive_time_s"`
+	Reopens         int           `json:"reopens"`
+	ReopenWindow    int           `json:"reopen_window"`
+	ConvergedWindow int           `json:"converged_window"`
+	FinalPolicy     string        `json:"final_policy"`
+	Landed          string        `json:"landed_on"`
+}
+
+// Bench converts the result for JSON emission.
+func (r *X10Result) Bench() X10Bench {
+	b := X10Bench{
+		Scale:           r.Scale.String(),
+		AdaptiveTime:    r.AdaptiveTime,
+		Reopens:         r.Reopens,
+		ReopenWindow:    r.ReopenWindow,
+		ConvergedWindow: r.ConvergedWindow,
+		FinalPolicy:     r.FinalPolicy(),
+		Landed:          describeOptions(r.Final),
+	}
+	for _, row := range r.Rows {
+		b.Rows = append(b.Rows, X10BenchRow{
+			Workload:  row.Workload,
+			Policy:    row.Policy,
+			Time:      row.Time,
+			Fetches:   row.Fetches,
+			Refetches: row.Refetches,
+			Evictions: row.Evictions,
+			Forced:    row.Forced,
+			Retries:   row.Retries,
+		})
+	}
+	sort.SliceStable(b.Rows, func(i, j int) bool {
+		if b.Rows[i].Workload != b.Rows[j].Workload {
+			return b.Rows[i].Workload < b.Rows[j].Workload
+		}
+		return b.Rows[i].Policy < b.Rows[j].Policy
+	})
+	return b
+}

@@ -1,0 +1,208 @@
+package kernels
+
+import (
+	"fmt"
+
+	"github.com/hetmem/hetmem/internal/charm"
+	"github.com/hetmem/hetmem/internal/core"
+	"github.com/hetmem/hetmem/internal/sim"
+)
+
+// ShiftConfig sizes a working-set-shift run (experiment X10): an
+// iterative chare program whose declared dependences change mid-run.
+// For the first PreIters iterations every chare touches only its hot
+// block; from iteration PreIters on, each task additionally declares a
+// cold block it has never used. Sized so the hot set fits HBM and the
+// widened set does not, the shift turns a steady in-memory phase into
+// an out-of-core phase at a known iteration — the scenario the
+// adaptive controller's settled-phase guard and the eviction victim
+// policies are tested against.
+type ShiftConfig struct {
+	// HotBytes is the phase-1 working set (all hot blocks).
+	HotBytes int64
+	// ColdBytes is the extra working set the shift adds.
+	ColdBytes int64
+	// NumChares is the over-decomposition width; each chare owns one
+	// hot and one cold block.
+	NumChares int
+	// PreIters is the number of hot-only iterations before the shift.
+	PreIters int
+	// PostIters is the number of widened iterations after it.
+	PostIters int
+	// Sweeps is the temporal-tiling depth per kernel invocation.
+	Sweeps int
+	// NumPEs is the worker count.
+	NumPEs int
+	// FlopsPerByte is the arithmetic intensity of the kernel.
+	FlopsPerByte float64
+}
+
+// Validate reports configuration errors.
+func (c ShiftConfig) Validate() error {
+	switch {
+	case c.HotBytes <= 0 || c.ColdBytes <= 0:
+		return fmt.Errorf("kernels: shift needs positive working-set sizes")
+	case c.NumChares <= 0:
+		return fmt.Errorf("kernels: shift needs chares")
+	case c.PreIters <= 0 || c.PostIters <= 0:
+		return fmt.Errorf("kernels: shift needs iterations on both sides of the shift")
+	case c.Sweeps <= 0:
+		return fmt.Errorf("kernels: shift needs a positive tiling depth (Sweeps)")
+	case c.NumPEs <= 0:
+		return fmt.Errorf("kernels: shift needs PEs")
+	case c.HotBytes%int64(c.NumChares) != 0:
+		return fmt.Errorf("kernels: hot WS %d not divisible by %d chares", c.HotBytes, c.NumChares)
+	case c.ColdBytes%int64(c.NumChares) != 0:
+		return fmt.Errorf("kernels: cold WS %d not divisible by %d chares", c.ColdBytes, c.NumChares)
+	}
+	return nil
+}
+
+// Iterations returns the total iteration count.
+func (c ShiftConfig) Iterations() int { return c.PreIters + c.PostIters }
+
+// shiftChare owns one hot and one cold block.
+type shiftChare struct {
+	hot, cold *core.Handle
+}
+
+// ShiftApp is an instantiated working-set-shift benchmark.
+type ShiftApp struct {
+	Cfg ShiftConfig
+	mg  *core.Manager
+	arr *charm.Array
+
+	compute *charm.Entry
+	red     *charm.Reduction
+	done    bool
+
+	// IterEnd records the completion time of each iteration.
+	IterEnd []sim.Time
+	started sim.Time
+
+	// OnIteration, when non-nil, is invoked at each iteration boundary
+	// instead of immediately starting the next iteration; the
+	// application continues when resume is called. X10's adaptive run
+	// wires the controller's Barrier in here.
+	OnIteration func(iter int, resume func())
+}
+
+// NewShift builds the application on an existing runtime+manager.
+func NewShift(mg *core.Manager, cfg ShiftConfig) (*ShiftApp, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rt := mg.Runtime()
+	if rt.NumPEs() != cfg.NumPEs {
+		return nil, fmt.Errorf("kernels: runtime has %d PEs, config wants %d", rt.NumPEs(), cfg.NumPEs)
+	}
+	app := &ShiftApp{Cfg: cfg, mg: mg}
+	n := cfg.NumChares
+	hot := cfg.HotBytes / int64(n)
+	cold := cfg.ColdBytes / int64(n)
+
+	app.arr = rt.NewArray("shift", n, func(i int) charm.Chare {
+		return &shiftChare{
+			hot:  mg.NewHandle(fmt.Sprintf("sh.H[%d]", i), hot),
+			cold: mg.NewHandle(fmt.Sprintf("sh.C[%d]", i), cold),
+		}
+	}, nil)
+
+	// Deps closures are resolved at Send time, so the dependence list
+	// widens exactly at the first post-shift iteration's sends.
+	deps := func(el *charm.Element) []charm.DataDep {
+		ch := el.Obj.(*shiftChare)
+		d := []charm.DataDep{{Handle: ch.hot, Mode: charm.ReadWrite}}
+		if app.Shifted() {
+			d = append(d, charm.DataDep{Handle: ch.cold, Mode: charm.ReadOnly})
+		}
+		return d
+	}
+	app.compute = app.arr.Register(charm.Entry{
+		Name:     "compute_kernel",
+		Prefetch: true,
+		Deps: func(el *charm.Element, msg *charm.Message) []charm.DataDep {
+			return deps(el)
+		},
+		Fn: func(p *sim.Proc, pe *charm.PE, el *charm.Element, msg *charm.Message) {
+			d := deps(el)
+			var bytesPerSweep float64
+			for _, dep := range d {
+				bytesPerSweep += float64(dep.Handle.Size())
+			}
+			mg.RunKernel(p, d, core.KernelSpec{
+				Flops:        bytesPerSweep * float64(cfg.Sweeps) * cfg.FlopsPerByte,
+				TrafficScale: float64(cfg.Sweeps),
+			})
+			app.red.Contribute()
+		},
+	})
+
+	app.red = rt.NewReduction(n, func() {
+		app.IterEnd = append(app.IterEnd, rt.Engine().Now())
+		if len(app.IterEnd) < cfg.Iterations() {
+			if app.OnIteration != nil {
+				app.OnIteration(len(app.IterEnd), app.broadcast)
+			} else {
+				app.broadcast()
+			}
+		} else {
+			app.done = true
+		}
+	})
+	return app, nil
+}
+
+// Shifted reports whether the next iteration's tasks use the widened
+// dependence set (the shift has happened).
+func (app *ShiftApp) Shifted() bool { return len(app.IterEnd) >= app.Cfg.PreIters }
+
+// broadcast starts one iteration: every chare schedules its kernel.
+func (app *ShiftApp) broadcast() {
+	for i := 0; i < app.arr.Len(); i++ {
+		app.arr.Send(i, i, app.compute, nil)
+	}
+}
+
+// Start seeds the first iteration without driving the engine.
+func (app *ShiftApp) Start() {
+	rt := app.mg.Runtime()
+	app.started = rt.Engine().Now()
+	rt.Main(func(p *sim.Proc) { app.broadcast() })
+}
+
+// Run executes the configured iterations and returns the total time.
+// It must be called on a fresh engine; it drives the engine itself.
+func (app *ShiftApp) Run() (sim.Time, error) {
+	rt := app.mg.Runtime()
+	app.Start()
+	rt.Engine().RunAll()
+	if !app.done {
+		return 0, fmt.Errorf("kernels: shift deadlocked after %d/%d iterations (blocked: %v)",
+			len(app.IterEnd), app.Cfg.Iterations(), rt.Engine().BlockedProcNames())
+	}
+	return app.TotalTime(), nil
+}
+
+// TotalTime returns the wall time of all iterations.
+func (app *ShiftApp) TotalTime() sim.Time {
+	if len(app.IterEnd) == 0 {
+		return 0
+	}
+	return app.IterEnd[len(app.IterEnd)-1] - app.started
+}
+
+// PostShiftTime returns the wall time of the post-shift iterations —
+// the phase the eviction policies differentiate on.
+func (app *ShiftApp) PostShiftTime() sim.Time {
+	if len(app.IterEnd) <= app.Cfg.PreIters {
+		return 0
+	}
+	return app.IterEnd[len(app.IterEnd)-1] - app.IterEnd[app.Cfg.PreIters-1]
+}
+
+// Done reports whether all iterations completed.
+func (app *ShiftApp) Done() bool { return app.done }
+
+// Manager exposes the OOC manager.
+func (app *ShiftApp) Manager() *core.Manager { return app.mg }
