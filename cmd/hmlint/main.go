@@ -1,0 +1,74 @@
+// hmlint is the multichecker driver for the domain-specific analyzer
+// suite in internal/lint: it mechanically enforces the staging
+// protocol's lock discipline (locksafe), the declared-dependence access
+// modes of the kernel API (handleaccess), the determinism rules behind
+// the byte-identical experiment tables (determinism), the
+// Options/Validate lifecycle (optionsmut) and audit.Metrics attribution
+// (metricsattr).
+//
+// Usage:
+//
+//	hmlint [-checks determinism,locksafe] [-list] [packages]
+//
+// With no package patterns it analyses ./... in the current directory.
+// Exit status: 0 when clean, 1 when any finding is reported, 2 on
+// loader/usage errors. Findings print as
+//
+//	file:line:col: message [analyzer]
+//
+// and can be suppressed at the site with an inline justification:
+//
+//	//hmlint:ignore <analyzer> <reason>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/hetmem/hetmem/internal/lint"
+)
+
+func main() {
+	checks := flag.String("checks", "", "comma-separated analyzer names to run (default: all)")
+	list := flag.Bool("list", false, "list analyzers and exit")
+	dir := flag.String("dir", ".", "directory to resolve package patterns in")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: hmlint [-checks a,b] [-list] [-dir d] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	var names []string
+	if *checks != "" {
+		names = strings.Split(*checks, ",")
+	}
+	analyzers, ok := lint.ByName(names)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "hmlint: unknown analyzer in -checks %q\n", *checks)
+		os.Exit(2)
+	}
+
+	pkgs, err := lint.Load(*dir, flag.Args()...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	diags := lint.Run(pkgs, analyzers)
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "hmlint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

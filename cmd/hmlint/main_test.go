@@ -1,0 +1,82 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestEndToEnd builds the hmlint binary, points it at a throwaway
+// module seeded with a determinism violation, and asserts the contract
+// the CI gate relies on: exit 1 naming the analyzer on a dirty tree,
+// exit 0 once the tree is clean, exit 2 on usage errors.
+func TestEndToEnd(t *testing.T) {
+	tmp := t.TempDir()
+	bin := filepath.Join(tmp, "hmlint")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("building hmlint: %v\n%s", err, out)
+	}
+
+	mod := filepath.Join(tmp, "victim")
+	writeFile(t, filepath.Join(mod, "go.mod"), "module example.com/victim\n\ngo 1.22\n")
+	writeFile(t, filepath.Join(mod, "internal", "exp", "exp.go"), `package exp
+
+import "time"
+
+// Stamp leaks the wall clock into a would-be table row.
+func Stamp() time.Time { return time.Now() }
+`)
+
+	out, code := runLint(t, bin, "-dir", mod, "./...")
+	if code != 1 {
+		t.Fatalf("dirty module: exit %d, want 1\noutput:\n%s", code, out)
+	}
+	if !strings.Contains(out, "[determinism]") || !strings.Contains(out, "time.Now") {
+		t.Fatalf("dirty module: finding must name the analyzer and the call:\n%s", out)
+	}
+
+	writeFile(t, filepath.Join(mod, "internal", "exp", "exp.go"), `package exp
+
+// Stamp is determinism-clean.
+func Stamp() int64 { return 42 }
+`)
+	out, code = runLint(t, bin, "-dir", mod, "./...")
+	if code != 0 {
+		t.Fatalf("clean module: exit %d, want 0\noutput:\n%s", code, out)
+	}
+
+	if _, code = runLint(t, bin, "-checks", "nosuchanalyzer", "-dir", mod, "./..."); code != 2 {
+		t.Fatalf("unknown -checks: exit %d, want 2", code)
+	}
+
+	out, code = runLint(t, bin, "-list")
+	if code != 0 || !strings.Contains(out, "determinism") || !strings.Contains(out, "locksafe") {
+		t.Fatalf("-list: exit %d, output:\n%s", code, out)
+	}
+}
+
+func writeFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func runLint(t *testing.T, bin string, args ...string) (string, int) {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		return string(out), 0
+	}
+	if ee, ok := err.(*exec.ExitError); ok {
+		return string(out), ee.ExitCode()
+	}
+	t.Fatalf("running %s %v: %v\n%s", bin, args, err, out)
+	return "", -1
+}

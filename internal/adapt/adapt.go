@@ -722,21 +722,17 @@ func (c *Controller) feedback() (Feedback, bool) {
 		return Feedback{}, false
 	}
 
+	// Sum the projection categories by direct lookup (missing keys read
+	// as zero) rather than ranging the map: IdleWait and LockWait fold
+	// into one float slot, so the addition order must be fixed.
 	var cat [int(numShareCats)]float64
 	s := c.tr.Summarize()
 	for pe := 0; pe < c.numPEs && pe < len(s.PerPE); pe++ {
-		for k, d := range s.PerPE[pe] {
-			switch k {
-			case projections.Compute:
-				cat[sCompute] += d
-			case projections.IdleWait, projections.LockWait:
-				cat[sWait] += d
-			case projections.Fetch:
-				cat[sFetch] += d
-			case projections.Evict:
-				cat[sEvict] += d
-			}
-		}
+		m := s.PerPE[pe]
+		cat[sCompute] += m[projections.Compute]
+		cat[sWait] += m[projections.IdleWait] + m[projections.LockWait]
+		cat[sFetch] += m[projections.Fetch]
+		cat[sEvict] += m[projections.Evict]
 	}
 	ctr := c.met.Counters()
 

@@ -94,6 +94,15 @@ func (h *Histogram) observe(d float64) {
 	}
 }
 
+// Clone returns a deep copy. A plain struct copy shares the Bounds and
+// Counts slice headers with the live histogram, so later observe()
+// calls would mutate what the caller believes is a frozen snapshot.
+func (h Histogram) Clone() Histogram {
+	h.Bounds = append([]float64(nil), h.Bounds...)
+	h.Counts = append([]int64(nil), h.Counts...)
+	return h
+}
+
 // StuckTask describes one task parked in a wait queue at quiescence.
 type StuckTask struct {
 	Task  string      `json:"task"`
@@ -399,7 +408,9 @@ func (a *Auditor) Violations() []Violation {
 	if a == nil {
 		return nil
 	}
-	return a.violations
+	// Copy: the auditor keeps appending, and a shared backing array
+	// would let a later violation overwrite the caller's view.
+	return append([]Violation(nil), a.violations...)
 }
 
 // StallReport returns the watchdog diagnostic, or nil if no stall was

@@ -239,8 +239,8 @@ func (m *Metrics) fill(s *Snapshot) {
 	}
 	s.QueueDepthPeak = append([]int(nil), m.queueDepthPeak...)
 	s.InflightPeak = append([]int(nil), m.inflightPeak...)
-	s.FetchHist = m.fetchHist
-	s.EvictHist = m.evictHist
+	s.FetchHist = m.fetchHist.Clone()
+	s.EvictHist = m.evictHist.Clone()
 }
 
 // Snapshot exports the metrics state alone (no audit fields). Owners

@@ -156,13 +156,21 @@ func finishAdaptive(p *X9Point, env *kernels.Env, ctl *adapt.Controller, metric 
 	return nil
 }
 
-// rank fills Best/Worst from the fixed grid results.
+// rank fills Best/Worst from the fixed grid results. Iterating the
+// names in sorted order makes the lexicographic tie-break implicit: the
+// first name seen at a given value wins.
 func (p *X9Point) rank() {
-	for name, v := range p.Fixed {
-		if p.Best == "" || v < p.BestVal || (v == p.BestVal && name < p.Best) {
+	names := make([]string, 0, len(p.Fixed))
+	for name := range p.Fixed {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		v := p.Fixed[name]
+		if p.Best == "" || v < p.BestVal {
 			p.Best, p.BestVal = name, v
 		}
-		if p.Worst == "" || v > p.WorstVal || (v == p.WorstVal && name < p.Worst) {
+		if p.Worst == "" || v > p.WorstVal {
 			p.Worst, p.WorstVal = name, v
 		}
 	}

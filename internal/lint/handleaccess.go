@@ -1,0 +1,263 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// HandleAccess enforces the dependence API's object-level contract in
+// internal/kernels and examples/: a kernel body may only touch a
+// handle's backing data through dependences the entry method declared,
+// and only in the declared access mode. Concretely, inside a
+// charm.Entry{Prefetch: true, Deps: ..., Fn: ...} literal whose Deps
+// function returns a static []charm.DataDep literal, every DataDep the
+// Fn body hands to Manager.RunKernel (and every Handle.Buffer() access)
+// must match a declared dependence:
+//
+//   - an access to a handle absent from Deps is an undeclared
+//     dependence — the runtime never staged it, so the kernel would
+//     stream from wherever the block happens to live;
+//   - a write (WriteOnly/ReadWrite) against a ReadOnly declaration
+//     breaks the sharing contract that lets concurrent tasks stage one
+//     copy of a read-only block;
+//   - a read (ReadOnly/ReadWrite) against a WriteOnly declaration reads
+//     bytes the staging protocol is allowed to skip fetching.
+//
+// Entries whose Deps are computed (a named function, a loop) are
+// skipped: the analyzer only judges what it can prove, and the common
+// idiom of sharing one deps closure between Deps and RunKernel is
+// consistent by construction.
+var HandleAccess = &Analyzer{
+	Name: "handleaccess",
+	Doc:  "match kernel data accesses against declared dependences and their access modes in internal/kernels and examples/",
+	Match: func(rel string) bool {
+		return matchPrefix(rel, "internal/kernels") || matchPrefix(rel, "examples")
+	},
+	Run: runHandleAccess,
+}
+
+// accessMode mirrors charm.AccessMode for static reasoning.
+type accessMode int
+
+const (
+	modeUnknown accessMode = iota
+	modeReadOnly
+	modeReadWrite
+	modeWriteOnly
+)
+
+// declaredDep is one statically-declared dependence.
+type declaredDep struct {
+	handle string // canonical handle expression
+	mode   accessMode
+}
+
+func runHandleAccess(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			cl, ok := n.(*ast.CompositeLit)
+			if !ok || !isEntryLiteral(p, cl) {
+				return true
+			}
+			p.checkEntry(cl)
+			return true
+		})
+	}
+}
+
+// isEntryLiteral reports whether cl is a charm.Entry composite literal
+// (directly or through the hetmem facade alias).
+func isEntryLiteral(p *Pass, cl *ast.CompositeLit) bool {
+	t := p.TypeOf(cl)
+	return isNamedType(t, "internal/charm", "Entry")
+}
+
+// checkEntry cross-checks one Entry literal's Fn accesses against its
+// Deps declarations.
+func (p *Pass) checkEntry(cl *ast.CompositeLit) {
+	var depsFn, bodyFn *ast.FuncLit
+	for _, elt := range cl.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		switch key.Name {
+		case "Deps":
+			depsFn, _ = kv.Value.(*ast.FuncLit)
+		case "Fn":
+			bodyFn, _ = kv.Value.(*ast.FuncLit)
+		}
+	}
+	if depsFn == nil || bodyFn == nil {
+		return
+	}
+	declared, static := p.declaredDeps(depsFn)
+	if !static {
+		return
+	}
+	p.checkFnAccesses(bodyFn, declared)
+}
+
+// declaredDeps extracts the []charm.DataDep literals returned by the
+// Deps function. static is false when any return is not a plain
+// composite literal of DataDep literals.
+func (p *Pass) declaredDeps(fn *ast.FuncLit) (deps []declaredDep, static bool) {
+	static = true
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for _, res := range ret.Results {
+			lit, ok := res.(*ast.CompositeLit)
+			if !ok {
+				static = false
+				continue
+			}
+			for _, elt := range lit.Elts {
+				dep, ok := p.dataDepLiteral(elt)
+				if !ok {
+					static = false
+					continue
+				}
+				deps = append(deps, dep)
+			}
+		}
+		return true
+	})
+	return deps, static
+}
+
+// dataDepLiteral parses a charm.DataDep{Handle: ..., Mode: ...}
+// composite literal.
+func (p *Pass) dataDepLiteral(e ast.Expr) (declaredDep, bool) {
+	cl, ok := e.(*ast.CompositeLit)
+	if !ok {
+		return declaredDep{}, false
+	}
+	dep := declaredDep{mode: modeUnknown}
+	for _, elt := range cl.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			return declaredDep{}, false
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok {
+			return declaredDep{}, false
+		}
+		switch key.Name {
+		case "Handle":
+			dep.handle = exprString(kv.Value)
+		case "Mode":
+			dep.mode = p.modeOf(kv.Value)
+		}
+	}
+	if dep.handle == "" {
+		return declaredDep{}, false
+	}
+	return dep, true
+}
+
+// modeOf resolves an expression naming a charm.AccessMode constant.
+func (p *Pass) modeOf(e ast.Expr) accessMode {
+	var name string
+	switch e := e.(type) {
+	case *ast.SelectorExpr:
+		name = e.Sel.Name
+	case *ast.Ident:
+		name = e.Name
+	default:
+		return modeUnknown
+	}
+	if t := p.TypeOf(e); !isNamedType(t, "internal/charm", "AccessMode") {
+		return modeUnknown
+	}
+	switch name {
+	case "ReadOnly":
+		return modeReadOnly
+	case "ReadWrite":
+		return modeReadWrite
+	case "WriteOnly":
+		return modeWriteOnly
+	}
+	return modeUnknown
+}
+
+// checkFnAccesses walks the Fn body for RunKernel dependence lists and
+// Buffer() calls and validates each against the declarations.
+func (p *Pass) checkFnAccesses(fn *ast.FuncLit, declared []declaredDep) {
+	find := func(handle string) *declaredDep {
+		for i := range declared {
+			if declared[i].handle == handle {
+				return &declared[i]
+			}
+		}
+		return nil
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if recv := selectorCall(call, "RunKernel"); recv != nil && len(call.Args) >= 2 {
+			if isNamedType(p.TypeOf(recv), "internal/core", "Manager") {
+				p.checkKernelDeps(call.Args[1], find)
+			}
+			return true
+		}
+		if recv := selectorCall(call, "Buffer"); recv != nil {
+			if isNamedType(p.TypeOf(recv), "internal/core", "Handle") {
+				if d := find(exprString(recv)); d == nil {
+					p.Reportf(call.Pos(),
+						"kernel reads backing buffer of %s, which is not a declared dependence of this entry",
+						exprString(recv))
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkKernelDeps validates the []charm.DataDep argument of a RunKernel
+// call. Non-literal dependence lists (a shared deps closure) are
+// consistent by construction and skipped.
+func (p *Pass) checkKernelDeps(arg ast.Expr, find func(string) *declaredDep) {
+	lit, ok := arg.(*ast.CompositeLit)
+	if !ok {
+		return
+	}
+	for _, elt := range lit.Elts {
+		dep, ok := p.dataDepLiteral(elt)
+		if !ok {
+			continue
+		}
+		decl := find(dep.handle)
+		if decl == nil {
+			p.Reportf(elt.Pos(),
+				"kernel accesses %s without a declared dependence; add it to the entry's Deps", dep.handle)
+			continue
+		}
+		p.checkModes(elt, dep, decl)
+	}
+}
+
+// checkModes flags access-mode violations: the kernel's use must be
+// covered by the declaration.
+func (p *Pass) checkModes(at ast.Expr, use declaredDep, decl *declaredDep) {
+	if use.mode == modeUnknown || decl.mode == modeUnknown {
+		return
+	}
+	writes := use.mode == modeReadWrite || use.mode == modeWriteOnly
+	reads := use.mode == modeReadWrite || use.mode == modeReadOnly
+	if writes && decl.mode == modeReadOnly {
+		p.Reportf(at.Pos(),
+			"kernel writes %s but the entry declares it readonly; declare readwrite or drop the write", use.handle)
+	}
+	if reads && decl.mode == modeWriteOnly {
+		p.Reportf(at.Pos(),
+			"kernel reads %s but the entry declares it writeonly; declare readwrite or drop the read", use.handle)
+	}
+}

@@ -1,0 +1,261 @@
+// Package lint implements hmlint: a domain-specific static-analysis
+// suite that mechanically enforces the runtime's object-level contracts
+// — the staging protocol's lock discipline, the declared-dependence
+// access modes of the kernel API, the determinism rules behind the
+// byte-identical experiment tables, the Options/Retune validation
+// funnel, and the audit.Metrics attribution pairing.
+//
+// The suite mirrors the golang.org/x/tools/go/analysis architecture
+// (Analyzer values with a Run func over a type-checked Pass, a
+// multichecker driver in cmd/hmlint, want-comment fixture tests) but is
+// built purely on the standard library's go/ast, go/parser and go/types:
+// the repository has no third-party dependencies and the loader
+// (load.go) type-checks the full package graph itself from
+// `go list -deps -json` output.
+//
+// Findings can be suppressed at the site with a justification:
+//
+//	//hmlint:ignore <check> <reason>
+//
+// on the flagged line or the line directly above it (see suppress.go).
+// A directive without a reason is itself a finding, so suppressions
+// stay documented.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named check, mirroring analysis.Analyzer.
+type Analyzer struct {
+	// Name identifies the check in findings and ignore directives.
+	Name string
+	// Doc is the one-line description shown by hmlint -list.
+	Doc string
+	// Match reports whether the analyzer applies to a package, given
+	// its module-relative import path (e.g. "internal/core",
+	// "cmd/hmrepro", "examples/quickstart"). A nil Match applies the
+	// analyzer everywhere.
+	Match func(relPath string) bool
+	// Run inspects one package and reports findings through the pass.
+	Run func(*Pass)
+}
+
+// Pass carries one analyzer's view of one type-checked package,
+// mirroring analysis.Pass.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+	// RelPath is the module-relative import path ("" for the module
+	// root package).
+	RelPath string
+
+	diags *[]Diagnostic
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+// String renders the finding in the conventional file:line:col form,
+// naming the analyzer so CI output and the acceptance criteria can be
+// matched mechanically.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s [%s]", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the type of e, or nil when unknown.
+func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.Info.TypeOf(e) }
+
+// Run applies the analyzers to every package, honouring each analyzer's
+// Match scope and the //hmlint:ignore suppressions, and returns the
+// surviving findings sorted by position.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		sup := collectSuppressions(pkg, &diags)
+		for _, a := range analyzers {
+			if a.Match != nil && !a.Match(pkg.RelPath) {
+				continue
+			}
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				RelPath:  pkg.RelPath,
+				diags:    &diags,
+			}
+			a.Run(pass)
+		}
+		diags = sup.filter(diags)
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	return diags
+}
+
+// --- shared helpers used by several analyzers ---
+
+// isPkgPath reports whether pkg (possibly nil) is the package whose
+// import path equals full or ends with "/"+suffix. Matching by suffix
+// keeps the analyzers working when the module is vendored or a fixture
+// re-creates the layout under another module name.
+func isPkgPath(pkg *types.Package, suffix string) bool {
+	if pkg == nil {
+		return false
+	}
+	path := pkg.Path()
+	return path == suffix || strings.HasSuffix(path, "/"+suffix)
+}
+
+// namedFrom returns the named type behind t (unwrapping pointers and
+// aliases), or nil.
+func namedFrom(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	n, _ := t.(*types.Named)
+	if n == nil {
+		// A pointer's element may itself be named.
+		if ptr, ok := t.(*types.Pointer); ok {
+			n, _ = ptr.Elem().(*types.Named)
+		}
+	}
+	return n
+}
+
+// isNamedType reports whether t is (a pointer to) the named type
+// pkgSuffix.name.
+func isNamedType(t types.Type, pkgSuffix, name string) bool {
+	n := namedFrom(t)
+	if n == nil {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == name && isPkgPath(obj.Pkg(), pkgSuffix)
+}
+
+// exprString renders an expression in canonical single-line form for
+// structural comparison (e.g. matching a kernel's handle expression
+// against the declared dependence list).
+func exprString(e ast.Expr) string {
+	var b strings.Builder
+	writeExpr(&b, e)
+	return b.String()
+}
+
+func writeExpr(b *strings.Builder, e ast.Expr) {
+	switch e := e.(type) {
+	case *ast.Ident:
+		b.WriteString(e.Name)
+	case *ast.SelectorExpr:
+		writeExpr(b, e.X)
+		b.WriteByte('.')
+		b.WriteString(e.Sel.Name)
+	case *ast.IndexExpr:
+		writeExpr(b, e.X)
+		b.WriteByte('[')
+		writeExpr(b, e.Index)
+		b.WriteByte(']')
+	case *ast.CallExpr:
+		writeExpr(b, e.Fun)
+		b.WriteByte('(')
+		for i, a := range e.Args {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			writeExpr(b, a)
+		}
+		b.WriteByte(')')
+	case *ast.StarExpr:
+		b.WriteByte('*')
+		writeExpr(b, e.X)
+	case *ast.UnaryExpr:
+		b.WriteString(e.Op.String())
+		writeExpr(b, e.X)
+	case *ast.ParenExpr:
+		writeExpr(b, e.X)
+	case *ast.BasicLit:
+		b.WriteString(e.Value)
+	case *ast.BinaryExpr:
+		writeExpr(b, e.X)
+		b.WriteString(e.Op.String())
+		writeExpr(b, e.Y)
+	default:
+		fmt.Fprintf(b, "%T", e)
+	}
+}
+
+// baseName returns the trailing field/variable name of a lock or cond
+// expression with any indexing stripped: s.ioMu[i] and s.ioMu both
+// yield "ioMu". Analyzers use it to pair condition variables with the
+// mutexes that guard them across per-PE arrays.
+func baseName(e ast.Expr) string {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			return x.Sel.Name
+		case *ast.Ident:
+			return x.Name
+		default:
+			return exprString(e)
+		}
+	}
+}
+
+// selectorCall matches a call of the form recv.Name(args...) and
+// returns the receiver expression, or nil when e is not such a call.
+func selectorCall(e *ast.CallExpr, name string) ast.Expr {
+	sel, ok := e.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return nil
+	}
+	return sel.X
+}

@@ -1,0 +1,179 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Package is one type-checked package of the analysis target, plus the
+// metadata the analyzers scope on.
+type Package struct {
+	// Path is the full import path; RelPath is the path relative to the
+	// module root ("" for the root package itself).
+	Path    string
+	RelPath string
+	Name    string
+	Dir     string
+
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// listPkg mirrors the fields we request from `go list -json`.
+type listPkg struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+	Imports    []string
+	Standard   bool
+	Module     *struct{ Path string }
+	Error      *struct{ Err string }
+}
+
+// graph is the loader's complete result: the analysis-target packages
+// plus the type-checked import universe (standard library included),
+// which the fixture test harness uses to type-check testdata packages
+// against the real repository types.
+type graph struct {
+	fset    *token.FileSet
+	pkgs    []*Package
+	checked map[string]*types.Package
+}
+
+// Load type-checks the packages matched by patterns (typically "./...")
+// in dir, together with their full dependency graph, and returns the
+// non-standard-library packages in deterministic (dependency) order.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	g, err := load(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	return g.pkgs, nil
+}
+
+// load is the graph-retaining implementation behind Load.
+//
+// The loader deliberately uses only the standard library: it shells out
+// to `go list -deps -json` for package metadata — which lists
+// dependencies before dependents — and type-checks the graph bottom-up
+// with go/types, feeding each package's imports from the packages
+// already checked. The repository has no third-party modules, so the
+// whole graph (stdlib included) resolves offline.
+func load(dir string, patterns ...string) (*graph, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{"list", "-deps",
+		"-json=ImportPath,Name,Dir,GoFiles,Imports,Standard,Module,Error"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	// CGO off: keeps the file lists pure Go so go/types can check every
+	// package from source alone.
+	cmd.Env = append(cmd.Environ(), "CGO_ENABLED=0")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("lint: go list: %v\n%s", err, stderr.String())
+	}
+
+	var metas []*listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("lint: decoding go list output: %v", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("lint: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		metas = append(metas, &p)
+	}
+
+	fset := token.NewFileSet()
+	checked := map[string]*types.Package{"unsafe": types.Unsafe}
+	importer := importerFunc(func(path string) (*types.Package, error) {
+		if tp, ok := checked[path]; ok {
+			return tp, nil
+		}
+		return nil, fmt.Errorf("lint: package %q not in dependency graph", path)
+	})
+
+	var pkgs []*Package
+	for _, meta := range metas {
+		if meta.ImportPath == "unsafe" {
+			continue
+		}
+		var files []*ast.File
+		for _, name := range meta.GoFiles {
+			af, err := parser.ParseFile(fset, filepath.Join(meta.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, fmt.Errorf("lint: parsing %s: %v", name, err)
+			}
+			files = append(files, af)
+		}
+		var typeErr error
+		conf := types.Config{
+			Importer: importer,
+			Error: func(err error) {
+				if typeErr == nil {
+					typeErr = err
+				}
+			},
+		}
+		info := &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		}
+		tp, err := conf.Check(meta.ImportPath, fset, files, info)
+		if err != nil && !meta.Standard {
+			// Standard-library packages occasionally use compiler
+			// intrinsics go/types cannot fully model; the analysis
+			// targets must check cleanly.
+			if typeErr != nil {
+				err = typeErr
+			}
+			return nil, fmt.Errorf("lint: type-checking %s: %v", meta.ImportPath, err)
+		}
+		checked[meta.ImportPath] = tp
+		if meta.Standard {
+			continue
+		}
+		rel := meta.ImportPath
+		if meta.Module != nil && meta.Module.Path != "" {
+			rel = strings.TrimPrefix(rel, meta.Module.Path)
+			rel = strings.TrimPrefix(rel, "/")
+		}
+		pkgs = append(pkgs, &Package{
+			Path:    meta.ImportPath,
+			RelPath: rel,
+			Name:    meta.Name,
+			Dir:     meta.Dir,
+			Fset:    fset,
+			Files:   files,
+			Types:   tp,
+			Info:    info,
+		})
+	}
+	return &graph{fset: fset, pkgs: pkgs, checked: checked}, nil
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

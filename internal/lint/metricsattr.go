@@ -1,0 +1,113 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// MetricsAttr keeps the audit.Metrics feedback counters honest in
+// internal/core: every function that advances one of the manager's
+// movement/retry Stats counters must attribute the same event to the
+// metrics collector in the same function, or the adaptive controller's
+// feedback (and the per-policy X10 attribution) silently rots while the
+// printed Stats still look right. The pairing is:
+//
+//	Stats.Fetches          -> Metrics.FetchDone
+//	Stats.Refetches        -> Metrics.Refetch
+//	Stats.Evictions        -> Metrics.EvictDone
+//	Stats.ForcedEvictions  -> Metrics.EvictDone (forced flag) or PolicyEvict
+//	Stats.StageRetries     -> Metrics.StageRetry
+//
+// The nil-safety of *audit.Metrics makes the call free when metrics are
+// off, so there is never a reason to skip it.
+var MetricsAttr = &Analyzer{
+	Name:  "metricsattr",
+	Doc:   "require audit.Metrics attribution alongside every Stats movement-counter update in internal/core",
+	Match: func(rel string) bool { return matchPrefix(rel, "internal/core") },
+	Run:   runMetricsAttr,
+}
+
+// statsPairing maps a Stats counter to the Metrics methods that
+// attribute it.
+var statsPairing = map[string][]string{
+	"Fetches":         {"FetchDone"},
+	"Refetches":       {"Refetch"},
+	"Evictions":       {"EvictDone"},
+	"ForcedEvictions": {"EvictDone", "PolicyEvict"},
+	"StageRetries":    {"StageRetry"},
+}
+
+func runMetricsAttr(p *Pass) {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			p.checkStatsAttribution(fd)
+		}
+	}
+}
+
+func (p *Pass) checkStatsAttribution(fd *ast.FuncDecl) {
+	type update struct {
+		counter string
+		at      ast.Node
+	}
+	var updates []update
+	called := map[string]bool{}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.IncDecStmt:
+			if c := statsCounter(n.X); c != "" {
+				updates = append(updates, update{c, n})
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if c := statsCounter(lhs); c != "" {
+					updates = append(updates, update{c, n})
+				}
+			}
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+				if isNamedType(p.TypeOf(sel.X), "internal/audit", "Metrics") {
+					called[sel.Sel.Name] = true
+				}
+			}
+		}
+		return true
+	})
+
+	for _, u := range updates {
+		attributed := false
+		for _, m := range statsPairing[u.counter] {
+			if called[m] {
+				attributed = true
+				break
+			}
+		}
+		if !attributed {
+			p.Reportf(u.at.Pos(),
+				"Stats.%s updated without attributing to audit.Metrics (call %s on the collector in %s)",
+				u.counter, strings.Join(statsPairing[u.counter], " or "), fd.Name.Name)
+		}
+	}
+}
+
+// statsCounter matches an expression of the form <recv>.Stats.<Counter>
+// for a tracked counter and returns the counter name.
+func statsCounter(e ast.Expr) string {
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	if _, tracked := statsPairing[sel.Sel.Name]; !tracked {
+		return ""
+	}
+	inner, ok := sel.X.(*ast.SelectorExpr)
+	if !ok || inner.Sel.Name != "Stats" {
+		return ""
+	}
+	return sel.Sel.Name
+}

@@ -1,0 +1,170 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// OptionsMut enforces the Options lifecycle: every configuration passes
+// through Validate exactly once, at NewManager or Retune. Two misuse
+// shapes are flagged anywhere in the module (core itself mutates m.opts
+// only by whole-struct replacement inside Retune, which this analyzer
+// does not match):
+//
+//   - mutating a copy obtained from Manager.Options() without handing
+//     it back to Retune (or Validate/NewManager) in the same function —
+//     Options returns a value, so the write silently configures
+//     nothing and bypasses validation;
+//   - mutating the options variable after it was already passed to
+//     NewManager — the manager copied it at construction, so the write
+//     is dead; the running manager must be reconfigured through
+//     Retune, which re-validates.
+var OptionsMut = &Analyzer{
+	Name: "optionsmut",
+	Doc:  "flag core.Options field writes that bypass the NewManager/Retune Validate funnel",
+	Run:  runOptionsMut,
+}
+
+func runOptionsMut(p *Pass) {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			p.checkOptionsFlow(fd.Body)
+		}
+	}
+}
+
+// optionsVar tracks one local core.Options variable's lifecycle events
+// in source order.
+type optionsVar struct {
+	fromOptions  bool // initialised from Manager.Options()
+	mutations    []ast.Node
+	consumedAt   token.Pos // earliest later pass to Retune/Validate/NewManager
+	constructedA token.Pos // earliest pass to NewManager (for post-construction writes)
+}
+
+func isOptionsType(t types.Type) bool {
+	return isNamedType(t, "internal/core", "Options")
+}
+
+// checkOptionsFlow runs the per-function lifecycle analysis.
+func (p *Pass) checkOptionsFlow(body *ast.BlockStmt) {
+	vars := map[types.Object]*optionsVar{}
+	get := func(id *ast.Ident) *optionsVar {
+		obj := p.Info.Uses[id]
+		if obj == nil {
+			obj = p.Info.Defs[id]
+		}
+		if obj == nil || !isOptionsType(obj.Type()) {
+			return nil
+		}
+		v := vars[obj]
+		if v == nil {
+			v = &optionsVar{}
+			vars[obj] = v
+		}
+		return v
+	}
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				// o := mgr.Options()
+				if id, ok := lhs.(*ast.Ident); ok && i < len(n.Rhs) {
+					if call, ok := n.Rhs[i].(*ast.CallExpr); ok {
+						if recv := selectorCall(call, "Options"); recv != nil &&
+							isNamedType(p.TypeOf(recv), "internal/core", "Manager") {
+							if v := get(id); v != nil {
+								v.fromOptions = true
+							}
+							continue
+						}
+					}
+					// Whole-value reassignment resets the lifecycle.
+					if v := get(id); v != nil && n.Tok == token.ASSIGN {
+						v.fromOptions = false
+						v.mutations = nil
+						v.constructedA = token.NoPos
+					}
+					continue
+				}
+				// o.Field = ... — a field mutation.
+				if sel, ok := lhs.(*ast.SelectorExpr); ok {
+					if id, ok := sel.X.(*ast.Ident); ok {
+						if v := get(id); v != nil {
+							v.mutations = append(v.mutations, n)
+						}
+					}
+				}
+			}
+		case *ast.CallExpr:
+			fnName := ""
+			switch fun := fun(n).(type) {
+			case *ast.SelectorExpr:
+				fnName = fun.Sel.Name
+			case *ast.Ident:
+				fnName = fun.Name
+			}
+			consume := fnName == "Retune" || fnName == "Validate"
+			construct := fnName == "NewManager"
+			if !consume && !construct {
+				return true
+			}
+			args := n.Args
+			if fnName == "Validate" {
+				// o.Validate() — the receiver is the consumed value.
+				if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+					args = append([]ast.Expr{sel.X}, args...)
+				}
+			}
+			for _, a := range args {
+				id, ok := a.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				if v := get(id); v != nil {
+					if v.consumedAt == token.NoPos || n.Pos() < v.consumedAt {
+						v.consumedAt = n.Pos()
+					}
+					if construct && (v.constructedA == token.NoPos || n.Pos() < v.constructedA) {
+						v.constructedA = n.Pos()
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	for _, v := range vars {
+		for _, mut := range v.mutations {
+			switch {
+			case v.fromOptions && v.consumedAt == token.NoPos:
+				p.Reportf(mut.Pos(),
+					"mutating a copy of Manager.Options() configures nothing and bypasses Validate; pass the modified options to Retune")
+			case v.consumedAt != token.NoPos && v.fromOptions && mut.Pos() > v.consumedAt:
+				p.Reportf(mut.Pos(),
+					"options copy mutated after it was handed to Retune/NewManager; the write is dead")
+			case v.constructedA != token.NoPos && mut.Pos() > v.constructedA:
+				p.Reportf(mut.Pos(),
+					"options mutated after NewManager already copied them; reconfigure the manager through Retune")
+			}
+		}
+	}
+}
+
+// fun unwraps a call's function expression through parens.
+func fun(call *ast.CallExpr) ast.Expr {
+	e := call.Fun
+	for {
+		if pe, ok := e.(*ast.ParenExpr); ok {
+			e = pe.X
+			continue
+		}
+		return e
+	}
+}

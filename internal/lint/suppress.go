@@ -1,0 +1,97 @@
+package lint
+
+import (
+	"strings"
+)
+
+// ignoreDirective is one parsed //hmlint:ignore comment.
+type ignoreDirective struct {
+	file   string
+	line   int // the comment's own line
+	checks map[string]bool
+	reason string
+}
+
+const ignorePrefix = "hmlint:ignore"
+
+// suppressions indexes the ignore directives of one package.
+type suppressions struct {
+	// byLine maps file -> line -> directive. A directive suppresses
+	// findings on its own line and on the line directly below it (the
+	// standalone-comment-above-the-statement form).
+	byLine map[string]map[int]*ignoreDirective
+}
+
+// collectSuppressions parses every //hmlint:ignore directive in the
+// package. A directive must name a check (or "all") and carry a
+// non-empty reason; a malformed directive is itself reported, so
+// suppressions cannot silently accumulate without justification.
+func collectSuppressions(pkg *Package, diags *[]Diagnostic) *suppressions {
+	s := &suppressions{byLine: make(map[string]map[int]*ignoreDirective)}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, ignorePrefix) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(text, ignorePrefix))
+				fields := strings.Fields(rest)
+				pos := pkg.Fset.Position(c.Pos())
+				if len(fields) < 2 {
+					*diags = append(*diags, Diagnostic{
+						Analyzer: "hmlint",
+						Pos:      pos,
+						Message:  "malformed //hmlint:ignore directive: want \"//hmlint:ignore <check> <reason>\"",
+					})
+					continue
+				}
+				d := &ignoreDirective{
+					file:   pos.Filename,
+					line:   pos.Line,
+					checks: map[string]bool{},
+					reason: strings.Join(fields[1:], " "),
+				}
+				for _, name := range strings.Split(fields[0], ",") {
+					d.checks[name] = true
+				}
+				if s.byLine[d.file] == nil {
+					s.byLine[d.file] = make(map[int]*ignoreDirective)
+				}
+				s.byLine[d.file][d.line] = d
+			}
+		}
+	}
+	return s
+}
+
+// filter drops the findings covered by a directive.
+func (s *suppressions) filter(diags []Diagnostic) []Diagnostic {
+	if len(s.byLine) == 0 {
+		return diags
+	}
+	out := diags[:0]
+	for _, d := range diags {
+		if d.Analyzer != "hmlint" && s.covered(d) {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+func (s *suppressions) covered(d Diagnostic) bool {
+	lines := s.byLine[d.Pos.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, line := range []int{d.Pos.Line, d.Pos.Line - 1} {
+		if dir := lines[line]; dir != nil {
+			if dir.checks["all"] || dir.checks[d.Analyzer] {
+				return true
+			}
+		}
+	}
+	return false
+}

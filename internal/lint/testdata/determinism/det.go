@@ -1,0 +1,63 @@
+// Package fixture exercises the determinism analyzer: wall-clock
+// reads, global math/rand draws, and order-dependent map iteration.
+package fixture
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func clocks() time.Duration {
+	start := time.Now()      // want `time\.Now reads the wall clock`
+	return time.Since(start) // want `time\.Since reads the wall clock`
+}
+
+func draws() int {
+	r := rand.New(rand.NewSource(7))  // constructors carry their own seed
+	return r.Intn(10) + rand.Intn(10) // want `rand\.Intn uses the process-seeded global source`
+}
+
+func emit(m map[string]int) {
+	for k, v := range m { // want `map iteration order feeds output \(fmt\.Println\)`
+		fmt.Println(k, v)
+	}
+}
+
+// collectSorted is the canonical collect-then-sort idiom; the sort
+// erases the iteration order, so the loop is legal.
+func collectSorted(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func collectUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `map iteration order feeds state outside the loop \(keys\)`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// accumulate folds map values into a float in iteration order; float
+// addition is not associative, so the sum is order-dependent.
+func accumulate(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m { // want `map iteration order feeds state outside the loop \(sum\)`
+		sum += v
+	}
+	return sum
+}
+
+// transfer writes each key independently into another map; no ordering
+// can be observed.
+func transfer(dst, src map[string]int) {
+	for k, v := range src {
+		dst[k] = v
+	}
+}

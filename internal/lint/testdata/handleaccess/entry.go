@@ -1,0 +1,110 @@
+// Package fixture exercises the handleaccess analyzer: kernel bodies
+// may only touch handles through dependences the entry declared, in
+// the declared access mode.
+package fixture
+
+import (
+	"github.com/hetmem/hetmem/internal/charm"
+	"github.com/hetmem/hetmem/internal/core"
+	"github.com/hetmem/hetmem/internal/sim"
+)
+
+// kern is a toy chare whose entries exercise the contract.
+type kern struct {
+	mg   *core.Manager
+	a, b *core.Handle
+}
+
+func (k *kern) goodEntry() charm.Entry {
+	return charm.Entry{
+		Prefetch: true,
+		Deps: func(el *charm.Element, msg *charm.Message) []charm.DataDep {
+			return []charm.DataDep{
+				{Handle: k.a, Mode: charm.ReadOnly},
+				{Handle: k.b, Mode: charm.ReadWrite},
+			}
+		},
+		Fn: func(p *sim.Proc, pe *charm.PE, el *charm.Element, msg *charm.Message) {
+			k.mg.RunKernel(p, []charm.DataDep{
+				{Handle: k.a, Mode: charm.ReadOnly},
+				{Handle: k.b, Mode: charm.ReadWrite},
+			}, core.KernelSpec{Flops: 1})
+		},
+	}
+}
+
+func (k *kern) badUndeclared() charm.Entry {
+	return charm.Entry{
+		Prefetch: true,
+		Deps: func(el *charm.Element, msg *charm.Message) []charm.DataDep {
+			return []charm.DataDep{
+				{Handle: k.a, Mode: charm.ReadOnly},
+			}
+		},
+		Fn: func(p *sim.Proc, pe *charm.PE, el *charm.Element, msg *charm.Message) {
+			k.mg.RunKernel(p, []charm.DataDep{
+				{Handle: k.a, Mode: charm.ReadOnly},
+				{Handle: k.b, Mode: charm.ReadOnly}, // want `kernel accesses k\.b without a declared dependence`
+			}, core.KernelSpec{Flops: 1})
+		},
+	}
+}
+
+func (k *kern) badWrite() charm.Entry {
+	return charm.Entry{
+		Prefetch: true,
+		Deps: func(el *charm.Element, msg *charm.Message) []charm.DataDep {
+			return []charm.DataDep{
+				{Handle: k.a, Mode: charm.ReadOnly},
+			}
+		},
+		Fn: func(p *sim.Proc, pe *charm.PE, el *charm.Element, msg *charm.Message) {
+			k.mg.RunKernel(p, []charm.DataDep{
+				{Handle: k.a, Mode: charm.ReadWrite}, // want `kernel writes k\.a but the entry declares it readonly`
+			}, core.KernelSpec{Flops: 1})
+		},
+	}
+}
+
+func (k *kern) badRead() charm.Entry {
+	return charm.Entry{
+		Prefetch: true,
+		Deps: func(el *charm.Element, msg *charm.Message) []charm.DataDep {
+			return []charm.DataDep{
+				{Handle: k.b, Mode: charm.WriteOnly},
+			}
+		},
+		Fn: func(p *sim.Proc, pe *charm.PE, el *charm.Element, msg *charm.Message) {
+			k.mg.RunKernel(p, []charm.DataDep{
+				{Handle: k.b, Mode: charm.ReadOnly}, // want `kernel reads k\.b but the entry declares it writeonly`
+			}, core.KernelSpec{Flops: 1})
+		},
+	}
+}
+
+func (k *kern) badBuffer() charm.Entry {
+	return charm.Entry{
+		Prefetch: true,
+		Deps: func(el *charm.Element, msg *charm.Message) []charm.DataDep {
+			return []charm.DataDep{
+				{Handle: k.a, Mode: charm.ReadOnly},
+			}
+		},
+		Fn: func(p *sim.Proc, pe *charm.PE, el *charm.Element, msg *charm.Message) {
+			_ = k.b.Buffer() // want `kernel reads backing buffer of k\.b, which is not a declared dependence`
+		},
+	}
+}
+
+// computedDeps shares a deps closure between Deps and RunKernel — the
+// repository's matmul idiom. The analyzer only judges what it can
+// prove static, so this is skipped, not flagged.
+func (k *kern) computedDeps(deps charm.DepsFn) charm.Entry {
+	return charm.Entry{
+		Prefetch: true,
+		Deps:     deps,
+		Fn: func(p *sim.Proc, pe *charm.PE, el *charm.Element, msg *charm.Message) {
+			k.mg.RunKernel(p, deps(el, msg), core.KernelSpec{Flops: 1})
+		},
+	}
+}

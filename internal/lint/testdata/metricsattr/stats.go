@@ -1,0 +1,52 @@
+// Package fixture exercises the metricsattr analyzer: every Stats
+// movement-counter update must attribute the same event to
+// audit.Metrics in the same function.
+package fixture
+
+import (
+	"github.com/hetmem/hetmem/internal/audit"
+	"github.com/hetmem/hetmem/internal/sim"
+)
+
+// bookkeeping mirrors the manager's Stats block.
+type bookkeeping struct {
+	Fetches      int64
+	Refetches    int64
+	Evictions    int64
+	StageRetries int64
+}
+
+type mover struct {
+	Stats bookkeeping
+	met   *audit.Metrics
+}
+
+func (m *mover) goodFetch(n int64, d sim.Time) {
+	m.Stats.Fetches++
+	m.met.FetchDone(n, d)
+}
+
+func (m *mover) goodRetry() {
+	m.Stats.StageRetries++
+	m.met.StageRetry()
+}
+
+func (m *mover) goodEvict(n int64, d sim.Time) {
+	m.Stats.Evictions++
+	m.met.EvictDone(n, d, false)
+}
+
+func (m *mover) badFetch() {
+	m.Stats.Fetches++ // want `Stats\.Fetches updated without attributing to audit\.Metrics`
+}
+
+func (m *mover) badEvict() {
+	m.Stats.Evictions += 1 // want `Stats\.Evictions updated without attributing to audit\.Metrics`
+}
+
+// wrongMethod attributes the wrong event: a refetch must be credited
+// through Refetch, not FetchDone.
+func (m *mover) wrongMethod(n int64, d sim.Time) {
+	m.Stats.Refetches++ // want `Stats\.Refetches updated without attributing to audit\.Metrics`
+	m.met.FetchDone(n, d)
+}

@@ -1,0 +1,41 @@
+// Package fixture exercises the optionsmut analyzer: core.Options must
+// flow through the NewManager/Retune Validate funnel; stray field
+// writes configure nothing.
+package fixture
+
+import (
+	"github.com/hetmem/hetmem/internal/charm"
+	"github.com/hetmem/hetmem/internal/core"
+)
+
+func deadCopy(m *core.Manager) {
+	o := m.Options()
+	o.PrefetchDepth = 4 // want `configures nothing and bypasses Validate`
+}
+
+func retuned(m *core.Manager) error {
+	o := m.Options()
+	o.PrefetchDepth = 4
+	return m.Retune(o)
+}
+
+func validated(m *core.Manager) error {
+	o := m.Options()
+	o.PrefetchDepth = 4
+	return o.Validate()
+}
+
+func lateWrite(m *core.Manager) error {
+	o := m.Options()
+	o.PrefetchDepth = 4
+	err := m.Retune(o)
+	o.PrefetchDepth = 8 // want `mutated after it was handed to Retune`
+	return err
+}
+
+func postConstruct(rt *charm.Runtime) *core.Manager {
+	o := core.Options{Mode: core.MultiIO}
+	m := core.NewManager(rt, o)
+	o.PrefetchDepth = 2 // want `options mutated after NewManager already copied them`
+	return m
+}

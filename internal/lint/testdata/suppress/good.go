@@ -1,0 +1,11 @@
+// Package fixture exercises the //hmlint:ignore suppression protocol.
+package fixture
+
+import "time"
+
+// startup may read the wall clock: the value feeds an operator-facing
+// log line, never a table. The directive documents exactly that.
+func startup() time.Time {
+	//hmlint:ignore determinism operator-facing log line, never reaches a table
+	return time.Now()
+}

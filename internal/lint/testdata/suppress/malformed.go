@@ -1,0 +1,10 @@
+package fixture
+
+import "time"
+
+// malformed carries an ignore directive without a reason: the directive
+// itself becomes a finding and suppresses nothing.
+func malformed() time.Time {
+	//hmlint:ignore determinism
+	return time.Now()
+}

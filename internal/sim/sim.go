@@ -273,12 +273,18 @@ func (e *Engine) BlockedProcNames() []string {
 }
 
 // Close kills all still-parked processes so their goroutines exit. The
-// engine must not be used afterwards.
+// engine must not be used afterwards. Victims die in id (spawn) order
+// so teardown is as deterministic as the run itself.
 func (e *Engine) Close() {
 	for {
+		ids := make([]int, 0, len(e.procs))
+		for id := range e.procs {
+			ids = append(ids, id)
+		}
+		sort.Ints(ids)
 		var victim *Proc
-		for _, p := range e.procs {
-			if !p.done {
+		for _, id := range ids {
+			if p := e.procs[id]; !p.done {
 				victim = p
 				break
 			}
