@@ -3,7 +3,7 @@ GO ?= go
 # gate does not drift with upstream.
 STATICCHECK_VERSION ?= 2024.1.1
 
-.PHONY: ci vet build test race audit lint hmlint staticcheck bench bench-adapt bench-evict
+.PHONY: ci vet build test race audit lint hmlint staticcheck bench bench-adapt bench-evict bench-trace
 
 # ci is the gate: static checks (vet + hmlint + staticcheck), build,
 # race-enabled tests, and the audit-enabled figure sweep (every
@@ -60,3 +60,10 @@ bench-adapt:
 # Lookahead, plus the adaptive mid-run working-set shift).
 bench-evict:
 	$(GO) run ./cmd/hmrepro -evict -bench-evict BENCH_evict.json
+
+# bench-trace regenerates the committed trace/replay benchmark snapshot
+# from the full-scale X11 validation: replay fidelity on the Fig 8
+# overflow capture, capture overhead vs an untraced run, and what-if
+# policy deltas vs real runs.
+bench-trace:
+	$(GO) run ./cmd/hmrepro -replay -bench-trace BENCH_trace.json

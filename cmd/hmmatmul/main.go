@@ -7,6 +7,7 @@
 //	hmmatmul -mode single -total 54           # one run, size in GB
 //	hmmatmul -mode multi -total 24 -audit     # with invariant audit + JSON metrics
 //	hmmatmul -mode multi -total 24 -adapt     # adaptive run with convergence trace
+//	hmmatmul -mode multi -trace out.jsonl     # record the run for hmtrace
 package main
 
 import (
@@ -19,6 +20,7 @@ import (
 	"github.com/hetmem/hetmem/internal/core"
 	"github.com/hetmem/hetmem/internal/exp"
 	"github.com/hetmem/hetmem/internal/kernels"
+	"github.com/hetmem/hetmem/internal/trace"
 )
 
 func main() {
@@ -32,6 +34,7 @@ func main() {
 	auditOn := flag.Bool("audit", false, "enable the invariant auditor and print a JSON metrics snapshot")
 	adaptOn := flag.Bool("adapt", false, "attach the online adaptive controller and print its convergence trace")
 	policyName := flag.String("evict-policy", "", "eviction victim policy for movement modes: decl, lru or lookahead")
+	traceOut := flag.String("trace", "", "record the single run as a JSONL capture to this file (inspect with hmtrace)")
 	flag.Parse()
 
 	scale := exp.Full
@@ -47,6 +50,9 @@ func main() {
 		exp.SetEvictPolicy(pol)
 	}
 	if *fig == 9 {
+		if *traceOut != "" {
+			log.Fatal("-trace records a single run; it cannot be combined with -fig (drop -fig, pick -mode)")
+		}
 		r, err := exp.RunFig9(scale)
 		if err != nil {
 			log.Fatal(err)
@@ -74,6 +80,11 @@ func main() {
 		Trace:  *adaptOn,
 	})
 	defer env.Close()
+	var rec *trace.Recorder
+	if *traceOut != "" {
+		rec = trace.NewRecorder(env.MG)
+		rec.Attach()
+	}
 	app, err := kernels.NewMatMul(env.MG, cfg)
 	if err != nil {
 		log.Fatal(err)
@@ -86,6 +97,9 @@ func main() {
 			log.Fatal(err)
 		}
 		ctl.Attach()
+		if rec != nil {
+			rec.AttachController(ctl)
+		}
 	}
 	t, err := app.Run()
 	if err != nil {
@@ -98,6 +112,12 @@ func main() {
 	fmt.Printf("  evictions  %8d (%.1f GB)\n", st.Evictions, float64(st.BytesEvicted)/float64(1<<30))
 	if ctl != nil {
 		fmt.Printf("adaptive controller (settled window %d):\n%s", ctl.ConvergedWindow(), ctl.TraceString())
+	}
+	if rec != nil {
+		if err := rec.Capture().WriteFile(*traceOut); err != nil {
+			log.Fatalf("write trace: %v", err)
+		}
+		fmt.Printf("trace: %d events written to %s\n", len(rec.Capture().Events), *traceOut)
 	}
 	if snap, ok := env.MG.AuditSnapshot(); ok {
 		snap.Label = fmt.Sprintf("matmul %s %dGB", mode, *total)

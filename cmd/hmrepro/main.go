@@ -6,6 +6,7 @@
 //
 //	hmrepro [-scale full|small] [-skip-ext] [-audit] [-adapt] [-bench-adapt file]
 //	        [-evict] [-bench-evict file] [-evict-policy decl|lru|lookahead]
+//	        [-replay] [-bench-trace file] [-trace file]
 //
 // With -audit every simulated run carries the invariant auditor from
 // internal/audit: conservation laws are checked continuously, the
@@ -22,6 +23,12 @@
 // (DeclOrder vs LRU vs Lookahead plus the adaptive mid-run shift);
 // -bench-evict writes its JSON snapshot. -evict-policy forces a victim
 // policy on every movement-mode run of the other figures.
+//
+// -replay runs only X11, the trace replay validation (capture the Fig 8
+// overflow run, replay it byte-identically, and check what-if policy
+// deltas against real runs). -bench-trace writes its JSON snapshot
+// (including the capture-overhead measurement); -trace writes the
+// sample capture itself for hmtrace to inspect.
 package main
 
 import (
@@ -47,6 +54,9 @@ func main() {
 	evictOnly := flag.Bool("evict", false, "run only X10: eviction victim selection under pressure + mid-run shift")
 	benchEvict := flag.String("bench-evict", "", "write the X10 result to this file as a JSON benchmark snapshot")
 	policyName := flag.String("evict-policy", "", "force an eviction victim policy on movement-mode runs: decl, lru or lookahead")
+	replayOnly := flag.Bool("replay", false, "run only X11: trace replay fidelity + what-if consistency")
+	benchTrace := flag.String("bench-trace", "", "write the X11 result to this file as a JSON benchmark snapshot")
+	traceOut := flag.String("trace", "", "write X11's sample capture (the fig8 overflow run) to this JSONL file")
 	flag.Parse()
 
 	scale, err := parseScale(*scaleName)
@@ -84,6 +94,15 @@ func main() {
 		x10 = r
 		return r.Table(), nil
 	}
+	var x11 *exp.X11Result
+	runX11 := func() (fmt.Stringer, error) {
+		r, err := exp.RunX11(scale)
+		if err != nil {
+			return nil, err
+		}
+		x11 = r
+		return r.Table(), nil
+	}
 
 	type figure struct {
 		name string
@@ -109,6 +128,7 @@ func main() {
 			figure{"X8", func() (fmt.Stringer, error) { return tbl(exp.RunCluster(scale)) }},
 			figure{"X9", runX9},
 			figure{"X10", runX10},
+			figure{"X11", runX11},
 		)
 	}
 	if *adaptOnly {
@@ -116,6 +136,9 @@ func main() {
 	}
 	if *evictOnly {
 		figures = []figure{{"X10", runX10}}
+	}
+	if *replayOnly {
+		figures = []figure{{"X11", runX11}}
 	}
 
 	fmt.Printf("hetmem reproduction — %s scale\n\n", scale)
@@ -161,8 +184,33 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "[bench snapshot written to %s]\n", *benchEvict)
 	}
+	if *benchTrace != "" {
+		if x11 == nil {
+			log.Fatal("-bench-trace needs the X11 figure (drop -skip-ext or pass -replay)")
+		}
+		out, err := json.MarshalIndent(x11.Bench(), "", "  ")
+		if err != nil {
+			log.Fatalf("bench-trace: %v", err)
+		}
+		if err := os.WriteFile(*benchTrace, append(out, '\n'), 0o644); err != nil {
+			log.Fatalf("bench-trace: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "[bench snapshot written to %s]\n", *benchTrace)
+	}
+	if *traceOut != "" {
+		if x11 == nil || x11.Sample == nil {
+			log.Fatal("-trace needs the X11 figure (drop -skip-ext or pass -replay)")
+		}
+		if err := x11.Sample.WriteFile(*traceOut); err != nil {
+			log.Fatalf("trace: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "[sample capture written to %s]\n", *traceOut)
+	}
 	if totalViolations > 0 {
 		log.Fatalf("audit: %d invariant violation(s) detected", totalViolations)
+	}
+	if x11 != nil && (!x11.Identical || !x11.Consistent()) {
+		log.Fatal("X11: replay validation failed (see table above)")
 	}
 }
 

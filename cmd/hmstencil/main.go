@@ -8,6 +8,7 @@
 //	hmstencil -mode multi -reduced 4 -total 32  # one run, sizes in GB
 //	hmstencil -mode single -adapt             # adaptive run with convergence trace
 //	hmstencil -mode multi -audit              # invariant audit + JSON metrics
+//	hmstencil -mode multi -trace out.jsonl    # record the run for hmtrace
 package main
 
 import (
@@ -20,6 +21,7 @@ import (
 	"github.com/hetmem/hetmem/internal/core"
 	"github.com/hetmem/hetmem/internal/exp"
 	"github.com/hetmem/hetmem/internal/kernels"
+	"github.com/hetmem/hetmem/internal/trace"
 )
 
 func main() {
@@ -34,6 +36,7 @@ func main() {
 	auditOn := flag.Bool("audit", false, "enable the invariant auditor and print a JSON metrics snapshot")
 	adaptOn := flag.Bool("adapt", false, "attach the online adaptive controller and print its convergence trace")
 	policyName := flag.String("evict-policy", "", "eviction victim policy for movement modes: decl, lru or lookahead")
+	traceOut := flag.String("trace", "", "record the single run as a JSONL capture to this file (inspect with hmtrace)")
 	flag.Parse()
 
 	scale := exp.Full
@@ -47,6 +50,9 @@ func main() {
 			log.Fatal(err)
 		}
 		exp.SetEvictPolicy(pol)
+	}
+	if *traceOut != "" && *fig != 0 {
+		log.Fatal("-trace records a single run; it cannot be combined with -fig (drop -fig, pick -mode)")
 	}
 	switch *fig {
 	case 2:
@@ -83,6 +89,11 @@ func main() {
 			Trace:  *adaptOn,
 		})
 		defer env.Close()
+		var rec *trace.Recorder
+		if *traceOut != "" {
+			rec = trace.NewRecorder(env.MG)
+			rec.Attach()
+		}
 		app, err := kernels.NewStencil(env.MG, cfg)
 		if err != nil {
 			log.Fatal(err)
@@ -94,6 +105,9 @@ func main() {
 				log.Fatal(err)
 			}
 			ctl.Attach()
+			if rec != nil {
+				rec.AttachController(ctl)
+			}
 			app.OnIteration = func(_ int, resume func()) {
 				ctl.Barrier()
 				resume()
@@ -111,6 +125,12 @@ func main() {
 		fmt.Printf("  evictions     %8d (%.1f GB)\n", st.Evictions, float64(st.BytesEvicted)/float64(1<<30))
 		if ctl != nil {
 			fmt.Printf("adaptive controller (settled window %d):\n%s", ctl.ConvergedWindow(), ctl.TraceString())
+		}
+		if rec != nil {
+			if err := rec.Capture().WriteFile(*traceOut); err != nil {
+				log.Fatalf("write trace: %v", err)
+			}
+			fmt.Printf("trace: %d events written to %s\n", len(rec.Capture().Events), *traceOut)
 		}
 		if snap, ok := env.MG.AuditSnapshot(); ok {
 			snap.Label = fmt.Sprintf("stencil %s %dGB", mode, *total)

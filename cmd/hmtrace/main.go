@@ -1,0 +1,283 @@
+// Command hmtrace inspects, exports and replays hetmem capture files
+// (the JSONL traces written by the kernel drivers' -trace flag).
+//
+// Usage:
+//
+//	hmtrace summary trace.jsonl
+//	hmtrace export [-o out.json] trace.jsonl
+//	hmtrace schedule trace.jsonl
+//	hmtrace whatif [-strategy name] [-evict-policy name] [-evict-lazy=bool]
+//	        [-io-threads n] [-prefetch-depth n] [-hbm-reserve bytes] trace.jsonl
+//
+// summary prints the terminal digest: per-lane occupancy, the share of
+// staged time hidden under compute, and the exposed staging time.
+// export converts the capture to Chrome trace_event JSON (load it in a
+// trace viewer: one track per PE plus the IO-thread lanes). schedule
+// prints the canonical per-task schedule used by the replay-fidelity
+// invariant. whatif reconstructs the captured workload and re-drives it
+// through the real scheduler under overridden knobs, then prints a
+// recorded-vs-replayed comparison table.
+//
+// Exit status: 0 on success; 2 when the capture is corrupt or
+// truncated — the readable prefix is still processed and reported
+// before exiting.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/hetmem/hetmem/internal/core"
+	"github.com/hetmem/hetmem/internal/trace"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+const usage = `usage: hmtrace <command> [flags] trace.jsonl
+
+commands:
+  summary    print occupancy, overlap and movement counters
+  export     convert to Chrome trace_event JSON (-o file, default stdout)
+  schedule   print the canonical per-task schedule
+  whatif     replay the workload under different knobs and compare
+`
+
+// run is the testable entry point; it returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	if len(args) < 1 {
+		fmt.Fprint(stderr, usage)
+		return 1
+	}
+	cmd, rest := args[0], args[1:]
+	switch cmd {
+	case "summary":
+		return cmdSummary(rest, stdout, stderr)
+	case "export":
+		return cmdExport(rest, stdout, stderr)
+	case "schedule":
+		return cmdSchedule(rest, stdout, stderr)
+	case "whatif":
+		return cmdWhatIf(rest, stdout, stderr)
+	case "-h", "-help", "--help", "help":
+		fmt.Fprint(stdout, usage)
+		return 0
+	default:
+		fmt.Fprintf(stderr, "hmtrace: unknown command %q\n%s", cmd, usage)
+		return 1
+	}
+}
+
+// load decodes a capture, reporting (but tolerating) corruption: the
+// readable prefix is returned with damaged=true so commands can finish
+// their report and then exit 2.
+func load(path string, stderr io.Writer) (c *trace.Capture, damaged bool, ok bool) {
+	c, err := trace.DecodeFile(path)
+	if err == nil {
+		return c, false, true
+	}
+	if c == nil || len(c.Events) == 0 {
+		fmt.Fprintf(stderr, "hmtrace: %s: %v\n", path, err)
+		return nil, true, false
+	}
+	fmt.Fprintf(stderr, "hmtrace: %s: %v (continuing with the %d events read)\n", path, err, len(c.Events))
+	return c, true, true
+}
+
+// exitCode maps the damage flag to the final exit status.
+func exitCode(damaged bool) int {
+	if damaged {
+		return 2
+	}
+	return 0
+}
+
+func onePath(fs *flag.FlagSet, stderr io.Writer) (string, bool) {
+	if fs.NArg() != 1 {
+		fmt.Fprintf(stderr, "hmtrace %s: want exactly one trace file, got %d args\n", fs.Name(), fs.NArg())
+		return "", false
+	}
+	return fs.Arg(0), true
+}
+
+func cmdSummary(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("summary", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	if fs.Parse(args) != nil {
+		return 1
+	}
+	path, ok := onePath(fs, stderr)
+	if !ok {
+		return 1
+	}
+	c, damaged, ok := load(path, stderr)
+	if !ok {
+		return 2
+	}
+	fmt.Fprint(stdout, trace.Summarize(c).String())
+	return exitCode(damaged)
+}
+
+func cmdExport(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("export", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	out := fs.String("o", "", "write Chrome trace JSON to this file (default stdout)")
+	if fs.Parse(args) != nil {
+		return 1
+	}
+	path, ok := onePath(fs, stderr)
+	if !ok {
+		return 1
+	}
+	c, damaged, ok := load(path, stderr)
+	if !ok {
+		return 2
+	}
+	w := stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(stderr, "hmtrace export: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := trace.ExportChrome(c, w); err != nil {
+		fmt.Fprintf(stderr, "hmtrace export: %v\n", err)
+		return 1
+	}
+	if *out != "" {
+		fmt.Fprintf(stderr, "[chrome trace written to %s]\n", *out)
+	}
+	return exitCode(damaged)
+}
+
+func cmdSchedule(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("schedule", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	if fs.Parse(args) != nil {
+		return 1
+	}
+	path, ok := onePath(fs, stderr)
+	if !ok {
+		return 1
+	}
+	c, damaged, ok := load(path, stderr)
+	if !ok {
+		return 2
+	}
+	fmt.Fprint(stdout, c.ScheduleString())
+	return exitCode(damaged)
+}
+
+// strategies maps the -strategy short names to core mode strings.
+var strategies = map[string]core.Mode{
+	"ddr4only": core.DDROnly,
+	"naive":    core.Baseline,
+	"single":   core.SingleIO,
+	"noio":     core.NoIO,
+	"multi":    core.MultiIO,
+}
+
+func cmdWhatIf(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("whatif", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	strategy := fs.String("strategy", "", "override the movement strategy: ddr4only, naive, single, noio or multi")
+	policy := fs.String("evict-policy", "", "override the eviction victim policy: decl, lru or lookahead")
+	lazy := fs.Bool("evict-lazy", false, "override lazy eviction")
+	ioThreads := fs.Int("io-threads", 0, "override the IO thread count (single strategy)")
+	depth := fs.Int("prefetch-depth", 0, "override the prefetch depth (multi strategy; 0 = unlimited)")
+	reserve := fs.Int64("hbm-reserve", 0, "override the HBM reserve in bytes")
+	if fs.Parse(args) != nil {
+		return 1
+	}
+	path, ok := onePath(fs, stderr)
+	if !ok {
+		return 1
+	}
+	c, damaged, ok := load(path, stderr)
+	if !ok {
+		return 2
+	}
+	w, err := trace.Reconstruct(c)
+	if err != nil {
+		fmt.Fprintf(stderr, "hmtrace whatif: %v\n", err)
+		return 2
+	}
+
+	knobs := w.Meta.Knobs
+	set := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	if set["strategy"] {
+		mode, ok := strategies[*strategy]
+		if !ok {
+			fmt.Fprintf(stderr, "hmtrace whatif: unknown strategy %q (want ddr4only, naive, single, noio or multi)\n", *strategy)
+			return 1
+		}
+		knobs.Mode = mode.String()
+	}
+	if set["evict-policy"] {
+		if _, err := core.ParseEvictPolicy(*policy); err != nil {
+			fmt.Fprintf(stderr, "hmtrace whatif: %v\n", err)
+			return 1
+		}
+		knobs.EvictPolicy = *policy
+	}
+	if set["evict-lazy"] {
+		knobs.EvictLazily = *lazy
+	}
+	if set["io-threads"] {
+		knobs.IOThreads = *ioThreads
+	}
+	if set["prefetch-depth"] {
+		knobs.PrefetchDepth = *depth
+	}
+	if set["hbm-reserve"] {
+		knobs.HBMReserve = *reserve
+	}
+
+	res, err := w.Replay(trace.ReplayConfig{Knobs: &knobs})
+	if err != nil {
+		fmt.Fprintf(stderr, "hmtrace whatif: replay: %v\n", err)
+		return 1
+	}
+	printComparison(stdout,
+		trace.OutcomeOf("recorded", c),
+		trace.OutcomeOf("replayed", res.Capture))
+	return exitCode(damaged)
+}
+
+// knobsBrief renders the replay-relevant knobs compactly.
+func knobsBrief(k trace.Knobs) string {
+	s := fmt.Sprintf("%s victim=%s", k.Mode, k.EvictPolicy)
+	if k.EvictLazily {
+		s += " lazy"
+	}
+	if k.IOThreads > 0 {
+		s += fmt.Sprintf(" io=%d", k.IOThreads)
+	}
+	if k.PrefetchDepth > 0 {
+		s += fmt.Sprintf(" depth=%d", k.PrefetchDepth)
+	}
+	return s
+}
+
+// printComparison renders the recorded-vs-replayed table with the
+// relative makespan delta.
+func printComparison(w io.Writer, rec, rep trace.Outcome) {
+	fmt.Fprintf(w, "%-9s %14s %8s %8s %8s %7s %8s  %s\n",
+		"", "makespan (s)", "fetches", "refetch", "evicted", "forced", "retries", "knobs")
+	for _, o := range []trace.Outcome{rec, rep} {
+		fmt.Fprintf(w, "%-9s %14.6f %8d %8d %8d %7d %8d  %s\n",
+			o.Label, o.Makespan, o.Fetches, o.Refetches, o.Evictions,
+			o.ForcedEvictions, o.StageRetries, knobsBrief(o.Knobs))
+	}
+	if rec.Makespan > 0 {
+		d := (rep.Makespan - rec.Makespan) / rec.Makespan * 100
+		fmt.Fprintf(w, "%-9s %+13.2f%%\n", "delta", d)
+	}
+}

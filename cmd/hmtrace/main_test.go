@@ -1,0 +1,170 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/hetmem/hetmem/internal/charm"
+	"github.com/hetmem/hetmem/internal/core"
+	"github.com/hetmem/hetmem/internal/exp"
+	"github.com/hetmem/hetmem/internal/kernels"
+	"github.com/hetmem/hetmem/internal/trace"
+)
+
+// captureFile records a Small-scale stencil run into dir and returns
+// the capture path.
+func captureFile(t *testing.T, dir string) string {
+	t.Helper()
+	opts := core.DefaultOptions(core.MultiIO)
+	opts.HBMReserve = exp.Small.HBMReserve()
+	opts.Metrics = true
+	env := kernels.NewEnv(kernels.EnvConfig{
+		Spec:   exp.Small.Machine(),
+		NumPEs: exp.Small.NumPEs(),
+		Opts:   opts,
+		Params: charm.DefaultParams(),
+	})
+	defer env.Close()
+	rec := trace.NewRecorder(env.MG)
+	rec.Attach()
+	sizes := exp.Small.StencilReducedSizes()
+	app, err := kernels.NewStencil(env.MG, exp.Small.StencilConfig(sizes[0]))
+	if err != nil {
+		t.Fatalf("NewStencil: %v", err)
+	}
+	if _, err := app.Run(); err != nil {
+		t.Fatalf("stencil run: %v", err)
+	}
+	path := filepath.Join(dir, "capture.jsonl")
+	if err := rec.Capture().WriteFile(path); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	return path
+}
+
+// exec runs the command and returns (exit code, stdout, stderr).
+func exec(args ...string) (int, string, string) {
+	var out, errb bytes.Buffer
+	code := run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	path := captureFile(t, dir)
+
+	t.Run("summary", func(t *testing.T) {
+		code, out, _ := exec("summary", path)
+		if code != 0 {
+			t.Fatalf("exit %d, want 0", code)
+		}
+		for _, want := range []string{"capture:", "movement:", "overlap:", "lane"} {
+			if !strings.Contains(out, want) {
+				t.Errorf("summary output missing %q:\n%s", want, out)
+			}
+		}
+	})
+
+	t.Run("schedule", func(t *testing.T) {
+		code, out, _ := exec("schedule", path)
+		if code != 0 {
+			t.Fatalf("exit %d, want 0", code)
+		}
+		if !strings.Contains(out, "stencil3d[0].") {
+			t.Errorf("schedule output missing tasks:\n%s", out)
+		}
+	})
+
+	t.Run("export", func(t *testing.T) {
+		out := filepath.Join(dir, "chrome.json")
+		code, _, _ := exec("export", "-o", out, path)
+		if code != 0 {
+			t.Fatalf("exit %d, want 0", code)
+		}
+		b, err := os.ReadFile(out)
+		if err != nil {
+			t.Fatalf("read export: %v", err)
+		}
+		for _, want := range []string{"traceEvents", "thread_name", "PE 0"} {
+			if !strings.Contains(string(b), want) {
+				t.Errorf("chrome export missing %q", want)
+			}
+		}
+	})
+
+	t.Run("whatif", func(t *testing.T) {
+		code, out, errb := exec("whatif", "-evict-policy", "lookahead", path)
+		if code != 0 {
+			t.Fatalf("exit %d, want 0\nstderr: %s", code, errb)
+		}
+		for _, want := range []string{"recorded", "replayed", "delta", "lookahead"} {
+			if !strings.Contains(out, want) {
+				t.Errorf("whatif output missing %q:\n%s", want, out)
+			}
+		}
+	})
+
+	t.Run("whatif bad strategy", func(t *testing.T) {
+		code, _, errb := exec("whatif", "-strategy", "bogus", path)
+		if code != 1 {
+			t.Fatalf("exit %d, want 1\nstderr: %s", code, errb)
+		}
+	})
+}
+
+func TestCorruptCapture(t *testing.T) {
+	dir := t.TempDir()
+	path := captureFile(t, dir)
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cut the file mid-line: the last event line loses its tail.
+	trunc := filepath.Join(dir, "trunc.jsonl")
+	if err := os.WriteFile(trunc, b[:len(b)-20], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, out, errb := exec("summary", trunc)
+	if code != 2 {
+		t.Fatalf("summary of truncated capture: exit %d, want 2\nstderr: %s", code, errb)
+	}
+	if !strings.Contains(out, "capture:") {
+		t.Errorf("truncated summary printed no recovered results:\n%s", out)
+	}
+	if !strings.Contains(errb, "continuing with") {
+		t.Errorf("stderr does not report partial recovery: %s", errb)
+	}
+
+	// Garbage from byte 0: nothing recoverable.
+	junk := filepath.Join(dir, "junk.jsonl")
+	if err := os.WriteFile(junk, []byte("not json at all\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code, _, _ := exec("summary", junk); code != 2 {
+		t.Fatalf("summary of junk: exit %d, want 2", code)
+	}
+
+	// Missing file.
+	if code, _, _ := exec("summary", filepath.Join(dir, "nope.jsonl")); code != 2 {
+		t.Fatalf("summary of missing file: exit %d, want 2", code)
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	if code, _, _ := exec(); code != 1 {
+		t.Fatalf("no args: exit %d, want 1", code)
+	}
+	if code, _, _ := exec("frobnicate"); code != 1 {
+		t.Fatalf("unknown command: exit %d, want 1", code)
+	}
+	if code, _, _ := exec("summary"); code != 1 {
+		t.Fatalf("summary without file: exit %d, want 1", code)
+	}
+	code, out, _ := exec("help")
+	if code != 0 || !strings.Contains(out, "usage: hmtrace") {
+		t.Fatalf("help: exit %d out %q", code, out)
+	}
+}

@@ -34,6 +34,8 @@
 package hetmem
 
 import (
+	"io"
+
 	"github.com/hetmem/hetmem/internal/adapt"
 	"github.com/hetmem/hetmem/internal/charm"
 	"github.com/hetmem/hetmem/internal/core"
@@ -43,6 +45,7 @@ import (
 	"github.com/hetmem/hetmem/internal/projections"
 	"github.com/hetmem/hetmem/internal/sim"
 	"github.com/hetmem/hetmem/internal/topology"
+	"github.com/hetmem/hetmem/internal/trace"
 )
 
 // --- simulation engine ---
@@ -235,6 +238,52 @@ func NewAdaptController(mg *Manager, cfg AdaptConfig) (*AdaptController, error) 
 // DefaultAdaptConfig returns the controller defaults (also used for
 // any zero fields in a custom AdaptConfig).
 func DefaultAdaptConfig() AdaptConfig { return adapt.DefaultConfig() }
+
+// --- task-level tracing, capture and replay ---
+
+type (
+	// TraceRecorder captures the runtime's event stream at zero virtual
+	// cost; attach one before the run starts.
+	TraceRecorder = trace.Recorder
+	// TraceCapture is a recorded (or decoded) event stream with a
+	// versioned deterministic JSONL encoding.
+	TraceCapture = trace.Capture
+	// TraceEvent is one captured runtime event.
+	TraceEvent = trace.Event
+	// TraceKnobs is the replayable image of a Manager's option set.
+	TraceKnobs = trace.Knobs
+	// TraceSummary is the terminal digest of a capture (occupancy,
+	// overlap, exposed staging).
+	TraceSummary = trace.Summary
+	// TraceWorkload is a capture reconstructed for replay.
+	TraceWorkload = trace.Workload
+	// TraceReplayConfig parameterises a replay (nil Knobs = faithful).
+	TraceReplayConfig = trace.ReplayConfig
+	// TraceReplayResult is a finished replay with its own capture.
+	TraceReplayResult = trace.ReplayResult
+	// TraceOutcome condenses a capture for what-if comparison.
+	TraceOutcome = trace.Outcome
+)
+
+// NewTraceRecorder builds a recorder for mg; call Attach before the
+// run, Capture after it.
+func NewTraceRecorder(mg *Manager) *TraceRecorder { return trace.NewRecorder(mg) }
+
+// DecodeTrace parses a JSONL capture, recovering the readable prefix
+// of damaged files alongside the error.
+func DecodeTrace(r io.Reader) (*TraceCapture, error) { return trace.Decode(r) }
+
+// DecodeTraceFile parses the capture at path.
+func DecodeTraceFile(path string) (*TraceCapture, error) { return trace.DecodeFile(path) }
+
+// SummarizeTrace digests a capture for the terminal.
+func SummarizeTrace(c *TraceCapture) *TraceSummary { return trace.Summarize(c) }
+
+// ExportChromeTrace converts a capture to Chrome trace_event JSON.
+func ExportChromeTrace(c *TraceCapture, w io.Writer) error { return trace.ExportChrome(c, w) }
+
+// ReconstructTrace extracts the replayable workload from a capture.
+func ReconstructTrace(c *TraceCapture) (*TraceWorkload, error) { return trace.Reconstruct(c) }
 
 // --- evaluation applications ---
 

@@ -186,6 +186,7 @@ type Controller struct {
 	met *audit.Metrics
 	cfg Config
 	rng *rand.Rand
+	ds  DecisionSink
 
 	numPEs int
 	budget int64
@@ -298,10 +299,21 @@ func New(mg *core.Manager, cfg Config) (*Controller, error) {
 	return c, nil
 }
 
-// Attach installs the controller as the manager's observer so TaskDone
+// Attach adds the controller to the manager's observer list so TaskDone
 // fires; barrier-driven applications additionally wire Barrier into
-// their iteration hook.
-func (c *Controller) Attach() { c.mg.SetObserver(c) }
+// their iteration hook. Other observers (a trace recorder, say) keep
+// firing alongside the controller.
+func (c *Controller) Attach() { c.mg.AddObserver(c) }
+
+// DecisionSink receives each Decision as it is recorded, in addition to
+// the controller's own trace. The trace recorder uses it to interleave
+// retune decisions with runtime events on the captured timeline.
+type DecisionSink interface {
+	Decided(d Decision)
+}
+
+// SetDecisionSink installs (or, with nil, removes) the decision sink.
+func (c *Controller) SetDecisionSink(ds DecisionSink) { c.ds = ds }
 
 // TaskDone implements core.Observer: count completions and, in
 // completion-sampling mode, close a window every SampleEvery tasks.
@@ -427,12 +439,16 @@ func (c *Controller) knobName() string {
 
 // record appends a decision.
 func (c *Controller) record(f Feedback, format string, args ...interface{}) {
-	c.trace = append(c.trace, Decision{
+	d := Decision{
 		Window:   f.Window,
 		Time:     f.Time,
 		Action:   fmt.Sprintf(format, args...),
 		Feedback: f,
-	})
+	}
+	c.trace = append(c.trace, d)
+	if c.ds != nil {
+		c.ds.Decided(d)
+	}
 }
 
 // sample closes the current window: compute feedback, then run the

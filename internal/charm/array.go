@@ -157,6 +157,9 @@ func (a *Array) Send(from, idx int, entry *Entry, data interface{}) {
 	if entry.Prefetch && rt.interceptor != nil {
 		rt.interceptor.TaskCreated(t)
 	}
+	if rt.traceHook != nil {
+		rt.traceHook.TaskSent(t)
+	}
 	rt.Stats.MessagesSent++
 	pe := rt.PE(el.PE)
 	rt.Engine().After(rt.params.MsgLatency, func() { pe.enqueueMsg(t) })

@@ -139,9 +139,15 @@ func (pe *PE) loop(p *sim.Proc) {
 func (pe *PE) execute(p *sim.Proc, t *Task) {
 	rt := pe.rt
 	end := rt.tracer.Begin(pe.id, projections.Compute, t.Entry.Name)
+	if rt.traceHook != nil {
+		rt.traceHook.TaskRunStart(p, pe, t)
+	}
 	start := p.Now()
 	t.Entry.Fn(p, pe, t.Elem, t.Msg)
 	t.Elem.load += p.Now() - start
+	if rt.traceHook != nil {
+		rt.traceHook.TaskRunEnd(p, pe, t)
+	}
 	end()
 	rt.Stats.TasksExecuted++
 	pe.Executed++

@@ -83,6 +83,23 @@ type Interceptor interface {
 	TaskCreated(t *Task)
 }
 
+// TraceHook observes scheduler activity for every entry method, not
+// just [prefetch] ones: task creation at send time and the start/end of
+// entry-method execution. Unlike Interceptor it has no influence on
+// scheduling — hooks run at zero virtual-time cost — so an installed
+// hook never perturbs the schedule it records (internal/trace relies on
+// this for its capture-overhead guarantee).
+type TraceHook interface {
+	// TaskSent runs in the sender's context when a task is created,
+	// after dependence resolution and before delivery is scheduled.
+	TaskSent(t *Task)
+	// TaskRunStart runs in the PE scheduler process immediately before
+	// the entry-method body.
+	TaskRunStart(p *sim.Proc, pe *PE, t *Task)
+	// TaskRunEnd runs immediately after the entry-method body returns.
+	TaskRunEnd(p *sim.Proc, pe *PE, t *Task)
+}
+
 // Params are runtime cost knobs, all in seconds. They give the
 // simulated scheduler the small constant costs whose accumulation the
 // paper's Projections traces show.
@@ -115,6 +132,7 @@ type Runtime struct {
 	groups map[string]interface{}
 
 	interceptor Interceptor
+	traceHook   TraceHook
 	tracer      *projections.Tracer
 
 	// Stats counts scheduler activity.
@@ -154,6 +172,10 @@ func NewRuntime(m *topology.Machine, numPEs int, params Params, tracer *projecti
 // SetInterceptor installs the OOC layer. It must be called before any
 // messages are sent.
 func (rt *Runtime) SetInterceptor(ic Interceptor) { rt.interceptor = ic }
+
+// SetTraceHook installs (or, with nil, removes) the event-trace hook.
+// Like SetInterceptor it must be called before any messages are sent.
+func (rt *Runtime) SetTraceHook(th TraceHook) { rt.traceHook = th }
 
 // Machine returns the machine the runtime executes on.
 func (rt *Runtime) Machine() *topology.Machine { return rt.mach }

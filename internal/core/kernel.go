@@ -95,5 +95,9 @@ func (m *Manager) RunKernel(p *sim.Proc, deps []charm.DataDep, spec KernelSpec) 
 			p.Sleep(flopTime - elapsed)
 		}
 	}
-	return p.Now() - start
+	d := p.Now() - start
+	if m.ts != nil {
+		m.ts.KernelDone(p, spec, start, d)
+	}
+	return d
 }

@@ -129,8 +129,11 @@ type Manager struct {
 	// met is the optional metrics collector; nil unless Options.Metrics
 	// or Options.Audit is set (nil-safe like the auditor).
 	met *audit.Metrics
-	// obs is the optional runtime observer (the adaptive controller).
-	obs Observer
+	// obs holds the runtime observers (adaptive controller, trace
+	// recorder, ...); TaskDone fans out to each in registration order.
+	obs []Observer
+	// ts is the optional trace sink; nil when no recorder is attached.
+	ts TraceSink
 
 	// Stats aggregates data-movement activity.
 	Stats struct {
@@ -301,6 +304,9 @@ func (m *Manager) NewHandle(name string, size int64) *Handle {
 		h.buf, h.state = buf, InDDR
 	}
 	m.handles = append(m.handles, h)
+	if m.ts != nil {
+		m.ts.HandleDeclared(h, h.state.String())
+	}
 	return h
 }
 
@@ -347,6 +353,9 @@ func (m *Manager) fetch(p *sim.Proc, lane int, h *Handle, hasReservation bool) e
 		return errHBMBudget
 	}
 	h.state = Fetching
+	if m.ts != nil {
+		m.ts.FetchStart(lane, h)
+	}
 	end := m.rt.Tracer().Begin(lane, projections.Fetch, h.name)
 	d, err := m.mach.Alloc.Migrate(p, h.buf, topology.HBMNodeID)
 	end()
@@ -363,6 +372,9 @@ func (m *Manager) fetch(p *sim.Proc, lane int, h *Handle, hasReservation bool) e
 	if h.Fetches > 1 {
 		m.Stats.Refetches++
 		m.met.Refetch(m.evictPolicy().Name())
+	}
+	if m.ts != nil {
+		m.ts.FetchDone(lane, h, d, h.Fetches > 1)
 	}
 	m.notePressure()
 	m.aud.CheckNow()
@@ -404,6 +416,9 @@ func (m *Manager) evict(p *sim.Proc, lane int, h *Handle, force bool) {
 	m.Stats.EvictTime += d
 	m.met.EvictDone(h.size, d, forced)
 	m.met.PolicyEvict(m.evictPolicy().Name(), forced)
+	if m.ts != nil {
+		m.ts.EvictDone(lane, h, d, forced, m.evictPolicy().Name())
+	}
 	m.aud.CheckNow()
 }
 
@@ -541,7 +556,11 @@ func (m *Manager) Intercept(p *sim.Proc, pe *charm.PE, t *charm.Task) bool {
 		panic(fmt.Sprintf("core: task %s needs %d dep bytes, exceeding the %d-byte HBM budget; decompose further",
 			t, ot.depBytes, m.HBMBudget()))
 	}
-	return m.strat.admit(p, ot)
+	staged := m.strat.admit(p, ot)
+	if m.ts != nil {
+		m.ts.TaskAdmitted(t, pe.ID(), ot.depBytes, staged)
+	}
+	return staged
 }
 
 // PostProcess implements charm.Interceptor: the generated
@@ -552,8 +571,8 @@ func (m *Manager) PostProcess(p *sim.Proc, pe *charm.PE, t *charm.Task) {
 	if ot != nil {
 		m.strat.complete(p, ot)
 	}
-	if m.obs != nil {
-		m.obs.TaskDone(t)
+	for _, obs := range m.obs {
+		obs.TaskDone(t)
 	}
 }
 
@@ -586,8 +605,72 @@ type Observer interface {
 	TaskDone(t *charm.Task)
 }
 
-// SetObserver installs the runtime observer (nil detaches it).
-func (m *Manager) SetObserver(obs Observer) { m.obs = obs }
+// AddObserver appends an observer to the dispatch list. Multiple
+// observers (an adapt.Controller and a trace.Recorder, say) coexist;
+// each TaskDone fans out to all of them in registration order.
+func (m *Manager) AddObserver(obs Observer) {
+	if obs == nil {
+		panic("core: AddObserver(nil)")
+	}
+	m.obs = append(m.obs, obs)
+}
+
+// RemoveObserver detaches a previously added observer. Removing an
+// observer that is not registered is a no-op.
+func (m *Manager) RemoveObserver(obs Observer) {
+	for i, o := range m.obs {
+		if o == obs {
+			m.obs = append(m.obs[:i], m.obs[i+1:]...)
+			return
+		}
+	}
+}
+
+// SetObserver replaces the whole observer list with obs (nil detaches
+// every observer). Kept for callers that want exclusive ownership; use
+// AddObserver to coexist with other observers.
+func (m *Manager) SetObserver(obs Observer) {
+	if obs == nil {
+		m.obs = nil
+		return
+	}
+	m.obs = []Observer{obs}
+}
+
+// TraceSink receives the manager's data-movement events: handle
+// declaration, task admission, fetch/evict completion, staging retries
+// under capacity pressure, kernel completion and online retunes. The
+// trace recorder (internal/trace) implements it; every call site is
+// nil-guarded so an unattached manager pays one pointer test. Sinks run
+// at zero virtual-time cost and must not block or mutate runtime state.
+type TraceSink interface {
+	// HandleDeclared fires once per NewHandle; node is the initial
+	// placement (a BlockState string).
+	HandleDeclared(h *Handle, node string)
+	// TaskAdmitted fires after the strategy's admission decision for an
+	// intercepted [prefetch] task. staged reports whether the task was
+	// queued for staging (true) or will execute inline (false).
+	TaskAdmitted(t *charm.Task, pe int, depBytes int64, staged bool)
+	// FetchStart/FetchDone bracket a block migration into HBM on an IO
+	// lane. refetch marks blocks that had been resident before.
+	FetchStart(lane int, h *Handle)
+	FetchDone(lane int, h *Handle, d sim.Time, refetch bool)
+	// EvictDone fires after a block migrates back to the far node.
+	EvictDone(lane int, h *Handle, d sim.Time, forced bool, policy string)
+	// StageRetry fires when a staging attempt aborts for lack of HBM
+	// capacity, with the usage picture at the moment of the abort.
+	StageRetry(pe int, t *charm.Task, need, used, reserved int64)
+	// KernelDone fires after RunKernel finishes a compute kernel.
+	// start is the exact virtual time the kernel began (passed
+	// explicitly — reconstructing it as now-d loses a ULP, which is
+	// enough to break byte-identical replay).
+	KernelDone(p *sim.Proc, spec KernelSpec, start, d sim.Time)
+	// Retuned fires after a successful Retune with the new options.
+	Retuned(o Options)
+}
+
+// SetTraceSink installs (or, with nil, removes) the trace sink.
+func (m *Manager) SetTraceSink(ts TraceSink) { m.ts = ts }
 
 // Retune applies a new option set to a running manager. Knob-only
 // changes (IOThreads, PrefetchDepth, EvictLazily, EvictPolicy) take effect
@@ -623,6 +706,9 @@ func (m *Manager) Retune(o Options) error {
 		// engine reaps them at Close, and the watchdog ignores them
 		// because they hold no tasks.
 		m.installStrategy()
+		if m.ts != nil {
+			m.ts.Retuned(o)
+		}
 		return nil
 	}
 	if o.IOThreads != cur.IOThreads {
@@ -634,6 +720,9 @@ func (m *Manager) Retune(o Options) error {
 	// at each staging/release/reclaim decision; updating the options
 	// is enough.
 	m.opts = o
+	if m.ts != nil {
+		m.ts.Retuned(o)
+	}
 	return nil
 }
 

@@ -134,6 +134,9 @@ func (ot *OOCTask) stage(p *sim.Proc, lane int) bool {
 		// Nothing was granted: clear bookkeeping without refunding.
 		m.Stats.StageRetries++
 		m.met.StageRetry()
+		if m.ts != nil {
+			m.ts.StageRetry(ot.pe.ID(), ot.t, need, m.hbm().Used(), m.reserved)
+		}
 		for j := range ot.deps {
 			ot.dropClaim(j)
 		}

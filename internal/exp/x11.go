@@ -1,0 +1,326 @@
+package exp
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/hetmem/hetmem/internal/core"
+	"github.com/hetmem/hetmem/internal/kernels"
+	"github.com/hetmem/hetmem/internal/trace"
+)
+
+// X11 validates the trace capture/replay engine on two legs:
+//
+//   - Fidelity: the Fig 8 sweep's overflow point (the largest reduced
+//     working set) is run under MultiIO with a recorder attached, the
+//     capture is reconstructed into a workload, and the workload is
+//     re-driven through the real scheduler under identical knobs. The
+//     acceptance bar is byte-identical schedules: every task's send,
+//     run-start and run-end time agrees to the last bit
+//     (Capture.ScheduleString equality), and the makespans match.
+//
+//   - What-if: the X10 working-set-shift program is captured once under
+//     declaration-order eviction, then replayed under each victim
+//     policy — no new workload runs, just the capture re-driven with
+//     different knobs. The replayed policy deltas must agree
+//     directionally with X10's real fixed-policy runs: lookahead forces
+//     no more evictions of still-needed blocks than declaration order,
+//     in the replay exactly as on the real runs.
+//
+// Together the legs justify trusting what-if numbers: leg 1 shows the
+// replayer reproduces reality exactly when nothing changes, leg 2 shows
+// its deltas point the same way as ground truth when something does.
+
+// x11Options is the fidelity-leg configuration: the Fig 8 MultiIO
+// setup with metrics on (the capture's stats footer reads them).
+func x11Options(s Scale) core.Options {
+	o := s.options(core.MultiIO)
+	o.Metrics = true
+	return o
+}
+
+// x11CaptureStencil records the Fig 8 overflow point. The returned
+// capture's stats footer carries the makespan (engine time at capture
+// finish, the same instant a replay's footer is stamped at).
+func x11CaptureStencil(s Scale) (*trace.Capture, error) {
+	env := s.newEnv(x11Options(s), false)
+	defer env.Close()
+	rec := trace.NewRecorder(env.MG)
+	rec.Attach()
+	sizes := s.StencilReducedSizes()
+	app, err := kernels.NewStencil(env.MG, s.StencilConfig(sizes[len(sizes)-1]))
+	if err != nil {
+		return nil, err
+	}
+	if _, err := app.Run(); err != nil {
+		return nil, fmt.Errorf("exp: x11 stencil capture: %w", err)
+	}
+	return rec.Capture(), nil
+}
+
+// x11Untraced runs the fidelity-leg workload with no recorder and
+// returns the engine time at the same instant a capture footer would
+// be stamped — the baseline for the capture-overhead measurement.
+func x11Untraced(s Scale) (float64, error) {
+	env := s.newEnv(x11Options(s), false)
+	defer env.Close()
+	sizes := s.StencilReducedSizes()
+	app, err := kernels.NewStencil(env.MG, s.StencilConfig(sizes[len(sizes)-1]))
+	if err != nil {
+		return 0, err
+	}
+	if _, err := app.Run(); err != nil {
+		return 0, fmt.Errorf("exp: x11 untraced baseline: %w", err)
+	}
+	return float64(env.Eng.Now()), nil
+}
+
+// x11CaptureShift records the shift program under declaration-order
+// eviction (the X10 fixed-run configuration).
+func x11CaptureShift(s Scale) (*trace.Capture, error) {
+	env := s.newEnv(x10Options(s, core.DeclOrder), false)
+	defer env.Close()
+	rec := trace.NewRecorder(env.MG)
+	rec.Attach()
+	app, err := kernels.NewShift(env.MG, s.ShiftConfig())
+	if err != nil {
+		return nil, err
+	}
+	if _, err := app.Run(); err != nil {
+		return nil, fmt.Errorf("exp: x11 shift capture: %w", err)
+	}
+	return rec.Capture(), nil
+}
+
+// X11WhatIfRow compares one victim policy's replayed outcome against
+// the real fixed run of the same policy on the shift workload.
+type X11WhatIfRow struct {
+	Policy string
+
+	// Replayed outcome (whole-run counters from the replay capture).
+	ReplayTime      float64
+	ReplayRefetches int64
+	ReplayForced    int64
+	ReplayEvictions int64
+
+	// Real fixed-run outcome (X10 counters; Time is post-shift).
+	RealTime      float64
+	RealRefetches int64
+	RealForced    int64
+	RealEvictions int64
+}
+
+// X11Result is the replay validation outcome.
+type X11Result struct {
+	Scale Scale
+
+	// Fidelity leg.
+	Tasks            int64
+	Events           int
+	RecordedMakespan float64
+	ReplayedMakespan float64
+	Identical        bool
+
+	// Capture-overhead leg: the same workload untraced. Recording adds
+	// zero virtual time by construction, so OverheadPct should be 0.
+	UntracedMakespan float64
+	OverheadPct      float64
+
+	// What-if leg, one row per victim policy.
+	WhatIf []X11WhatIfRow
+
+	// Sample is the fidelity leg's capture, kept for -trace emission.
+	Sample *trace.Capture `json:"-"`
+}
+
+// Row returns the what-if row for a policy, or nil.
+func (r *X11Result) Row(policy string) *X11WhatIfRow {
+	for i := range r.WhatIf {
+		if r.WhatIf[i].Policy == policy {
+			return &r.WhatIf[i]
+		}
+	}
+	return nil
+}
+
+// Consistent reports whether the replayed policy deltas agree
+// directionally with the real runs: lookahead's forced evictions and
+// refetches do not exceed declaration order's, on both sides.
+func (r *X11Result) Consistent() bool {
+	decl, look := r.Row(core.DeclOrder.Name()), r.Row(core.Lookahead.Name())
+	if decl == nil || look == nil {
+		return false
+	}
+	return look.ReplayForced <= decl.ReplayForced &&
+		look.RealForced <= decl.RealForced &&
+		look.ReplayRefetches <= decl.ReplayRefetches &&
+		look.RealRefetches <= decl.RealRefetches
+}
+
+// RunX11 runs both legs at the given scale.
+func RunX11(s Scale) (*X11Result, error) {
+	res := &X11Result{Scale: s}
+
+	// Leg 1: fidelity on the Fig 8 overflow point.
+	cap, err := x11CaptureStencil(s)
+	if err != nil {
+		return nil, err
+	}
+	res.Sample = cap
+	res.Events = len(cap.Events)
+	if st := cap.Stats(); st != nil {
+		res.Tasks = st.Tasks
+		res.RecordedMakespan = float64(st.Makespan)
+	}
+	w, err := trace.Reconstruct(cap)
+	if err != nil {
+		return nil, fmt.Errorf("exp: x11 reconstruct: %w", err)
+	}
+	rep, err := w.Replay(trace.ReplayConfig{})
+	if err != nil {
+		return nil, fmt.Errorf("exp: x11 fidelity replay: %w", err)
+	}
+	res.ReplayedMakespan = float64(rep.Makespan)
+	res.Identical = rep.Capture.ScheduleString() == cap.ScheduleString() &&
+		res.ReplayedMakespan == res.RecordedMakespan
+
+	// Overhead leg: the same workload with no recorder attached.
+	untraced, err := x11Untraced(s)
+	if err != nil {
+		return nil, err
+	}
+	res.UntracedMakespan = untraced
+	if untraced > 0 {
+		res.OverheadPct = (res.RecordedMakespan - untraced) / untraced * 100
+	}
+
+	// Leg 2: what-if on the shift workload, one capture, every policy.
+	shiftCap, err := x11CaptureShift(s)
+	if err != nil {
+		return nil, err
+	}
+	sw, err := trace.Reconstruct(shiftCap)
+	if err != nil {
+		return nil, fmt.Errorf("exp: x11 reconstruct shift: %w", err)
+	}
+	for _, pol := range core.EvictPolicies() {
+		knobs := sw.Meta.Knobs
+		knobs.EvictPolicy = pol.Name()
+		repl, err := sw.Replay(trace.ReplayConfig{Knobs: &knobs})
+		if err != nil {
+			return nil, fmt.Errorf("exp: x11 what-if %s: %w", pol.Name(), err)
+		}
+		st := repl.Capture.Stats()
+		if st == nil {
+			return nil, fmt.Errorf("exp: x11 what-if %s: replay capture has no stats footer", pol.Name())
+		}
+		real, err := runX10Shift(s, pol)
+		if err != nil {
+			return nil, err
+		}
+		res.WhatIf = append(res.WhatIf, X11WhatIfRow{
+			Policy:          pol.Name(),
+			ReplayTime:      float64(st.Makespan),
+			ReplayRefetches: st.Refetches,
+			ReplayForced:    st.ForcedEvictions,
+			ReplayEvictions: st.Evictions,
+			RealTime:        real.Time,
+			RealRefetches:   real.Refetches,
+			RealForced:      real.Forced,
+			RealEvictions:   real.Evictions,
+		})
+	}
+	return res, nil
+}
+
+// Table renders the validation outcome.
+func (r *X11Result) Table() Table {
+	verdict := "BYTE-IDENTICAL"
+	if !r.Identical {
+		verdict = "DIVERGED"
+	}
+	t := Table{
+		Title: "X11: trace replay fidelity + what-if consistency",
+		Header: []string{"policy", "replay time (s)", "re-refetch", "re-forced",
+			"real time (s)", "refetch", "forced"},
+		Notes: []string{
+			fmt.Sprintf("fidelity: fig8 overflow capture (%d tasks, %d events) replayed under identical knobs: %s",
+				r.Tasks, r.Events, verdict),
+			fmt.Sprintf("  recorded makespan %s s, replayed %s s", f3(r.RecordedMakespan), f3(r.ReplayedMakespan)),
+			fmt.Sprintf("capture overhead: %.3f%% virtual-time delta vs untraced (%s s)",
+				r.OverheadPct, f3(r.UntracedMakespan)),
+			"what-if: one shift capture under decl, replayed per policy vs real fixed runs",
+			"  replay time is whole-run makespan; real time is post-shift (the X10 metric)",
+		},
+	}
+	for _, row := range r.WhatIf {
+		t.Rows = append(t.Rows, []string{
+			row.Policy,
+			f3(row.ReplayTime),
+			fmt.Sprintf("%d", row.ReplayRefetches),
+			fmt.Sprintf("%d", row.ReplayForced),
+			f3(row.RealTime),
+			fmt.Sprintf("%d", row.RealRefetches),
+			fmt.Sprintf("%d", row.RealForced),
+		})
+	}
+	consistency := "replayed deltas agree directionally with real runs"
+	if !r.Consistent() {
+		consistency = "INCONSISTENT: replayed deltas disagree with real runs"
+	}
+	t.Notes = append(t.Notes, consistency)
+	return t
+}
+
+// X11BenchRow is one what-if policy comparison in BENCH_trace.json.
+type X11BenchRow struct {
+	Policy          string  `json:"policy"`
+	ReplayTime      float64 `json:"replay_time_s"`
+	ReplayRefetches int64   `json:"replay_refetches"`
+	ReplayForced    int64   `json:"replay_forced"`
+	RealTime        float64 `json:"real_time_s"`
+	RealRefetches   int64   `json:"real_refetches"`
+	RealForced      int64   `json:"real_forced"`
+}
+
+// X11Bench is the JSON snapshot of the replay validation.
+type X11Bench struct {
+	Scale            string        `json:"scale"`
+	Tasks            int64         `json:"tasks"`
+	Events           int           `json:"events"`
+	RecordedMakespan float64       `json:"recorded_makespan_s"`
+	ReplayedMakespan float64       `json:"replayed_makespan_s"`
+	Identical        bool          `json:"replay_identical"`
+	UntracedMakespan float64       `json:"untraced_makespan_s"`
+	OverheadPct      float64       `json:"capture_overhead_pct"`
+	Consistent       bool          `json:"whatif_consistent"`
+	WhatIf           []X11BenchRow `json:"whatif"`
+}
+
+// Bench converts the result for JSON emission.
+func (r *X11Result) Bench() X11Bench {
+	b := X11Bench{
+		Scale:            r.Scale.String(),
+		Tasks:            r.Tasks,
+		Events:           r.Events,
+		RecordedMakespan: r.RecordedMakespan,
+		ReplayedMakespan: r.ReplayedMakespan,
+		Identical:        r.Identical,
+		UntracedMakespan: r.UntracedMakespan,
+		OverheadPct:      r.OverheadPct,
+		Consistent:       r.Consistent(),
+	}
+	for _, row := range r.WhatIf {
+		b.WhatIf = append(b.WhatIf, X11BenchRow{
+			Policy:          row.Policy,
+			ReplayTime:      row.ReplayTime,
+			ReplayRefetches: row.ReplayRefetches,
+			ReplayForced:    row.ReplayForced,
+			RealTime:        row.RealTime,
+			RealRefetches:   row.RealRefetches,
+			RealForced:      row.RealForced,
+		})
+	}
+	sort.SliceStable(b.WhatIf, func(i, j int) bool { return b.WhatIf[i].Policy < b.WhatIf[j].Policy })
+	return b
+}

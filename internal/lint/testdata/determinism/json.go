@@ -1,0 +1,62 @@
+// JSON-encoding fixtures: the trace capture format requires
+// byte-identical encode→decode→encode round trips, so JSON assembled by
+// walking a map bakes the iteration order into the bytes. The legal
+// idioms are to marshal a struct (fields encode in declaration order),
+// marshal the map itself (encoding/json sorts map keys), or restore an
+// explicit order before building the array.
+package fixture
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// handRolled streams object members while ranging the map; the byte
+// order of the emitted JSON permutes run to run.
+func handRolled(m map[string]int) []byte {
+	var b bytes.Buffer
+	b.WriteByte('{')
+	for k, v := range m { // want `map iteration order feeds output \(fmt\.Fprintf\)`
+		fmt.Fprintf(&b, "%q:%d,", k, v)
+	}
+	b.WriteByte('}')
+	return b.Bytes()
+}
+
+// entry marshals deterministically on its own — struct fields encode in
+// declaration order — but an array of entries is only as ordered as the
+// loop that built it.
+type entry struct {
+	Key string `json:"key"`
+	Val int    `json:"val"`
+}
+
+// entriesUnsorted collects the map into an array-of-objects without
+// restoring an order; the marshalled array permutes even though every
+// element is deterministic.
+func entriesUnsorted(m map[string]int) ([]byte, error) {
+	var es []entry
+	for k, v := range m { // want `map iteration order feeds state outside the loop \(es\)`
+		es = append(es, entry{Key: k, Val: v})
+	}
+	return json.Marshal(es)
+}
+
+// entriesSorted restores a deterministic order before marshalling; the
+// sort erases the iteration order, so the loop is legal.
+func entriesSorted(m map[string]int) ([]byte, error) {
+	var es []entry
+	for k, v := range m {
+		es = append(es, entry{Key: k, Val: v})
+	}
+	sort.Slice(es, func(i, j int) bool { return es[i].Key < es[j].Key })
+	return json.Marshal(es)
+}
+
+// marshalDirect hands the map straight to encoding/json, which sorts
+// object keys itself.
+func marshalDirect(m map[string]int) ([]byte, error) {
+	return json.Marshal(m)
+}

@@ -58,6 +58,19 @@ func (p *Proc) Sleep(d Time) {
 	p.park()
 }
 
+// SleepUntil parks the process until absolute virtual time t. A target
+// at or before the current time degenerates to a yield, so replaying a
+// recorded timeline can always sleep to the next timestamp without
+// checking for zero gaps.
+func (p *Proc) SleepUntil(t Time) {
+	if t <= p.e.now {
+		p.Yield()
+		return
+	}
+	p.e.wakeAt(t, p)
+	p.park()
+}
+
 // Yield gives other same-time events a chance to run.
 func (p *Proc) Yield() { p.Sleep(0) }
 

@@ -64,6 +64,7 @@ func (h *eventHeap) Pop() interface{} {
 // usable; create one with NewEngine.
 type Engine struct {
 	now     Time
+	seed    int64
 	seq     int64
 	events  eventHeap
 	handoff chan struct{} // procs signal the engine here when they park or exit
@@ -87,12 +88,17 @@ func NewEngine(seed int64) *Engine {
 	return &Engine{
 		handoff: make(chan struct{}),
 		procs:   make(map[int]*Proc),
+		seed:    seed,
 		rng:     rand.New(rand.NewSource(seed)),
 	}
 }
 
 // Now returns the current virtual time in seconds.
 func (e *Engine) Now() Time { return e.now }
+
+// Seed returns the seed the engine's random source was created with, so
+// a recorded run can be re-instantiated bit-for-bit (trace replay).
+func (e *Engine) Seed() int64 { return e.seed }
 
 // Rand returns the engine's deterministic random source.
 func (e *Engine) Rand() *rand.Rand { return e.rng }

@@ -1,0 +1,115 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// chromeEvent is one entry of the Chrome trace_event format
+// (catapult's "JSON Array Format"): complete spans (ph "X"), instants
+// (ph "i") and thread-name metadata (ph "M"). Timestamps are
+// microseconds of virtual time.
+type chromeEvent struct {
+	Name string      `json:"name"`
+	Ph   string      `json:"ph"`
+	Ts   float64     `json:"ts"`
+	Dur  float64     `json:"dur,omitempty"`
+	PID  int         `json:"pid"`
+	TID  int         `json:"tid"`
+	S    string      `json:"s,omitempty"`
+	Args interface{} `json:"args,omitempty"`
+}
+
+type chromeThreadName struct {
+	Name string `json:"name"`
+}
+
+type chromeSpanArgs struct {
+	ID      int64  `json:"id,omitempty"`
+	Block   string `json:"block,omitempty"`
+	Bytes   int64  `json:"bytes,omitempty"`
+	Src     string `json:"src,omitempty"`
+	Refetch bool   `json:"refetch,omitempty"`
+	Forced  bool   `json:"forced,omitempty"`
+	Policy  string `json:"policy,omitempty"`
+	Task    string `json:"task,omitempty"`
+	Action  string `json:"action,omitempty"`
+}
+
+type chromeFile struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+const usec = 1e6 // seconds -> trace_event microseconds
+
+// ExportChrome converts a capture to Chrome trace_event JSON: one track
+// (thread) per PE for entry-method execution, one per IO lane for
+// fetch/evict spans, instants for pressure, retune and adapt decisions.
+// Open the output in any trace viewer (chrome://tracing, Perfetto).
+func ExportChrome(c *Capture, w io.Writer) error {
+	numPEs := 0
+	if m := c.Meta(); m != nil {
+		numPEs = m.NumPEs
+	}
+	var evs []chromeEvent
+	taskName := map[int64]string{}
+	runOpen := map[int64]float64{}
+	lanes := map[int]bool{}
+
+	span := func(name string, ts, dur float64, tid int, args interface{}) {
+		evs = append(evs, chromeEvent{Name: name, Ph: "X", Ts: ts, Dur: dur, TID: tid, Args: args})
+	}
+	for _, e := range c.Events {
+		t := float64(e.header().T) * usec
+		switch ev := e.(type) {
+		case *Send:
+			taskName[ev.ID] = fmt.Sprintf("%s[%d].%s", ev.Arr, ev.Idx, ev.Entry)
+		case *RunStart:
+			runOpen[ev.ID] = t
+			lanes[ev.PE] = true
+		case *RunEnd:
+			if start, ok := runOpen[ev.ID]; ok {
+				span(taskName[ev.ID], start, t-start, ev.PE, &chromeSpanArgs{ID: ev.ID})
+				delete(runOpen, ev.ID)
+			}
+		case *FetchEnd:
+			lanes[ev.Lane] = true
+			span("fetch "+ev.Block, t-float64(ev.Dur)*usec, float64(ev.Dur)*usec, ev.Lane,
+				&chromeSpanArgs{Block: ev.Block, Bytes: ev.Bytes, Src: ev.Src, Refetch: ev.Refetch})
+		case *Evict:
+			lanes[ev.Lane] = true
+			span("evict "+ev.Block, t-float64(ev.Dur)*usec, float64(ev.Dur)*usec, ev.Lane,
+				&chromeSpanArgs{Block: ev.Block, Bytes: ev.Bytes, Forced: ev.Forced, Policy: ev.Policy})
+		case *Pressure:
+			lanes[ev.PE] = true
+			evs = append(evs, chromeEvent{Name: "pressure", Ph: "i", Ts: t, TID: ev.PE, S: "t",
+				Args: &chromeSpanArgs{Task: ev.Task, Bytes: ev.Need}})
+		case *Retune:
+			evs = append(evs, chromeEvent{Name: "retune " + ev.Knobs.Mode, Ph: "i", Ts: t, S: "g"})
+		case *Adapt:
+			evs = append(evs, chromeEvent{Name: "adapt", Ph: "i", Ts: t, S: "g",
+				Args: &chromeSpanArgs{Action: ev.Action}})
+		}
+	}
+
+	laneIDs := make([]int, 0, len(lanes))
+	for lane := range lanes {
+		laneIDs = append(laneIDs, lane)
+	}
+	sort.Ints(laneIDs)
+	meta := make([]chromeEvent, 0, len(laneIDs))
+	for _, lane := range laneIDs {
+		name := fmt.Sprintf("PE %d", lane)
+		if numPEs > 0 && lane >= numPEs {
+			name = fmt.Sprintf("IO %d", lane-numPEs)
+		}
+		meta = append(meta, chromeEvent{Name: "thread_name", Ph: "M", TID: lane,
+			Args: &chromeThreadName{Name: name}})
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeFile{TraceEvents: append(meta, evs...), DisplayTimeUnit: "ms"})
+}

@@ -1,0 +1,119 @@
+package trace_test
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/hetmem/hetmem/internal/adapt"
+	"github.com/hetmem/hetmem/internal/exp"
+	"github.com/hetmem/hetmem/internal/kernels"
+	"github.com/hetmem/hetmem/internal/trace"
+)
+
+// runAdaptiveStencil runs the Small overflow-point stencil with an
+// adaptive controller attached, optionally also recording, and returns
+// the makespan, the controller's decision trace and the capture.
+func runAdaptiveStencil(t *testing.T, record bool) (float64, []adapt.Decision, *trace.Capture) {
+	t.Helper()
+	opts := smallOpts()
+	env := kernels.NewEnv(kernels.EnvConfig{
+		Spec:   exp.Small.Machine(),
+		NumPEs: exp.Small.NumPEs(),
+		Opts:   opts,
+		Trace:  true, // projections tracer: the controller's feedback source
+	})
+	defer env.Close()
+
+	var rec *trace.Recorder
+	if record {
+		rec = trace.NewRecorder(env.MG)
+		rec.Attach()
+	}
+
+	sizes := exp.Small.StencilReducedSizes()
+	app, err := kernels.NewStencil(env.MG, exp.Small.StencilConfig(sizes[len(sizes)-1]))
+	if err != nil {
+		t.Fatalf("NewStencil: %v", err)
+	}
+	ctl, err := adapt.New(env.MG, adapt.Config{})
+	if err != nil {
+		t.Fatalf("adapt.New: %v", err)
+	}
+	ctl.Attach()
+	if rec != nil {
+		rec.AttachController(ctl)
+	}
+	app.OnIteration = func(_ int, resume func()) {
+		ctl.Barrier()
+		resume()
+	}
+	mk, err := app.Run()
+	if err != nil {
+		t.Fatalf("adaptive stencil run: %v", err)
+	}
+	var c *trace.Capture
+	if rec != nil {
+		c = rec.Capture()
+	}
+	return float64(mk), ctl.Trace(), c
+}
+
+// TestObserverFanOut is the regression test for observer dispatch: with
+// both the adaptive controller and a trace recorder attached, the
+// controller must keep receiving TaskDone (its decisions still fire)
+// and the run must be unperturbed — the manager fans observers out
+// instead of keeping only the last one registered.
+func TestObserverFanOut(t *testing.T) {
+	plainMk, plainDec, _ := runAdaptiveStencil(t, false)
+	tracedMk, tracedDec, c := runAdaptiveStencil(t, true)
+
+	if len(tracedDec) == 0 {
+		t.Fatalf("controller took no decisions while a recorder was attached")
+	}
+	if len(tracedDec) != len(plainDec) {
+		t.Fatalf("tracing changed the decision count: %d with recorder, %d without",
+			len(tracedDec), len(plainDec))
+	}
+	for i := range plainDec {
+		if tracedDec[i].Action != plainDec[i].Action || tracedDec[i].Window != plainDec[i].Window {
+			t.Fatalf("decision %d diverged under tracing:\nwith recorder: %v\nwithout:      %v",
+				i, tracedDec[i], plainDec[i])
+		}
+	}
+	if tracedMk != plainMk {
+		t.Fatalf("tracing perturbed the adaptive run: %v with recorder, %v without", tracedMk, plainMk)
+	}
+
+	// The capture must interleave the controller's decisions (via the
+	// decision sink) and any retunes they caused.
+	var adapts, retunes, dones int
+	for _, e := range c.Events {
+		switch e.(type) {
+		case *trace.Adapt:
+			adapts++
+		case *trace.Retune:
+			retunes++
+		case *trace.TaskDone:
+			dones++
+		}
+	}
+	if adapts != len(tracedDec) {
+		t.Fatalf("capture has %d adapt events, controller took %d decisions", adapts, len(tracedDec))
+	}
+	if dones == 0 {
+		t.Fatalf("capture has no task-done events: recorder's TaskDone hook never fired")
+	}
+	retuned := 0
+	for _, d := range tracedDec {
+		for _, prefix := range []string{"adopt", "accept", "probe", "switch",
+			"revert", "victim-upgrade", "pressure-revert"} {
+			if strings.HasPrefix(d.Action, prefix) && !strings.Contains(d.Action, "refused") {
+				retuned++
+				break
+			}
+		}
+	}
+	if retuned > 0 && retunes == 0 {
+		t.Fatalf("controller retuned %d times but the capture has no retune events", retuned)
+	}
+}

@@ -1,0 +1,221 @@
+package trace
+
+import (
+	"github.com/hetmem/hetmem/internal/adapt"
+	"github.com/hetmem/hetmem/internal/charm"
+	"github.com/hetmem/hetmem/internal/core"
+	"github.com/hetmem/hetmem/internal/sim"
+)
+
+// Recorder captures the runtime's event stream into a Capture. It
+// implements charm.TraceHook (task send/run events), core.TraceSink
+// (data-movement events), core.Observer (task completion) and
+// adapt.DecisionSink (controller decisions); Attach installs all four
+// hooks. Recording adds zero virtual time, so a traced run produces the
+// same schedule as an untraced one.
+//
+// Task IDs are assigned at send time, monotonically — replaying a
+// capture re-sends tasks in ID order, which reproduces the IDs and
+// makes recorded and replayed schedules directly comparable.
+type Recorder struct {
+	mg  *core.Manager
+	eng *sim.Engine
+	cap *Capture
+	seq int64
+
+	nextID  int64
+	ids     map[*charm.Task]int64
+	running map[*sim.Proc]runRef
+	tasks   int64
+	src     string // far-node name, the source of every fetch
+
+	finished bool
+}
+
+// runRef ties a PE scheduler process to the task it is executing, so
+// kernel events can be attributed to tasks.
+type runRef struct {
+	id int64
+	pe int
+}
+
+// NewRecorder builds a recorder for mg and emits the meta event. Call
+// Attach before the run starts.
+func NewRecorder(mg *core.Manager) *Recorder {
+	rt := mg.Runtime()
+	r := &Recorder{
+		mg:      mg,
+		eng:     rt.Engine(),
+		cap:     &Capture{},
+		ids:     make(map[*charm.Task]int64),
+		running: make(map[*sim.Proc]runRef),
+		src:     rt.Machine().DDR().Name,
+	}
+	r.emit(&Meta{
+		Version: Version,
+		NumPEs:  rt.NumPEs(),
+		Seed:    r.eng.Seed(),
+		Knobs:   KnobsOf(mg.Options()),
+		Params:  rt.Params(),
+		Spec:    rt.Machine().Spec,
+	})
+	return r
+}
+
+// Attach installs the recorder's hooks on the runtime, the manager and
+// (optionally, via AttachController) the adaptive controller. Existing
+// observers keep firing: the manager fans TaskDone out to all of them.
+func (r *Recorder) Attach() {
+	r.mg.Runtime().SetTraceHook(r)
+	r.mg.SetTraceSink(r)
+	r.mg.AddObserver(r)
+}
+
+// AttachController additionally records the controller's decisions.
+func (r *Recorder) AttachController(c *adapt.Controller) {
+	c.SetDecisionSink(r)
+}
+
+// emit stamps and appends one event.
+func (r *Recorder) emit(e Event) {
+	h := e.header()
+	h.K = e.Kind()
+	h.Seq = r.seq
+	h.T = r.eng.Now()
+	r.seq++
+	r.cap.Events = append(r.cap.Events, e)
+}
+
+// taskID returns the send-time ID of t, assigning one if the task was
+// created before the recorder attached.
+func (r *Recorder) taskID(t *charm.Task) int64 {
+	id, ok := r.ids[t]
+	if !ok {
+		id = r.nextID
+		r.nextID++
+		r.ids[t] = id
+	}
+	return id
+}
+
+// TaskSent implements charm.TraceHook.
+func (r *Recorder) TaskSent(t *charm.Task) {
+	id := r.taskID(t)
+	ev := &Send{
+		ID:       id,
+		Arr:      t.Elem.Array().Name(),
+		Idx:      t.Elem.Index,
+		Entry:    t.Entry.Name,
+		PE:       t.Elem.PE,
+		From:     t.Msg.From,
+		Prefetch: t.Entry.Prefetch,
+	}
+	for _, d := range t.Deps {
+		ev.Deps = append(ev.Deps, Dep{
+			Block: d.Handle.BlockName(),
+			Bytes: d.Handle.Size(),
+			Mode:  d.Mode.String(),
+		})
+	}
+	r.tasks++
+	r.emit(ev)
+}
+
+// TaskRunStart implements charm.TraceHook.
+func (r *Recorder) TaskRunStart(p *sim.Proc, pe *charm.PE, t *charm.Task) {
+	id := r.taskID(t)
+	r.running[p] = runRef{id: id, pe: pe.ID()}
+	r.emit(&RunStart{ID: id, PE: pe.ID()})
+}
+
+// TaskRunEnd implements charm.TraceHook.
+func (r *Recorder) TaskRunEnd(p *sim.Proc, pe *charm.PE, t *charm.Task) {
+	r.emit(&RunEnd{ID: r.taskID(t), PE: pe.ID()})
+	delete(r.running, p)
+}
+
+// HandleDeclared implements core.TraceSink.
+func (r *Recorder) HandleDeclared(h *core.Handle, node string) {
+	r.emit(&HandleDecl{Block: h.BlockName(), Bytes: h.Size(), Node: node})
+}
+
+// TaskAdmitted implements core.TraceSink.
+func (r *Recorder) TaskAdmitted(t *charm.Task, pe int, depBytes int64, staged bool) {
+	r.emit(&Admit{ID: r.taskID(t), PE: pe, Bytes: depBytes, Staged: staged})
+}
+
+// FetchStart implements core.TraceSink.
+func (r *Recorder) FetchStart(lane int, h *core.Handle) {
+	r.emit(&FetchStart{Lane: lane, Block: h.BlockName(), Bytes: h.Size()})
+}
+
+// FetchDone implements core.TraceSink.
+func (r *Recorder) FetchDone(lane int, h *core.Handle, d sim.Time, refetch bool) {
+	r.emit(&FetchEnd{Lane: lane, Block: h.BlockName(), Bytes: h.Size(), Dur: d, Src: r.src, Refetch: refetch})
+}
+
+// EvictDone implements core.TraceSink.
+func (r *Recorder) EvictDone(lane int, h *core.Handle, d sim.Time, forced bool, policy string) {
+	r.emit(&Evict{Lane: lane, Block: h.BlockName(), Bytes: h.Size(), Dur: d, Forced: forced, Policy: policy})
+}
+
+// StageRetry implements core.TraceSink.
+func (r *Recorder) StageRetry(pe int, t *charm.Task, need, used, reserved int64) {
+	r.emit(&Pressure{PE: pe, Task: t.String(), Need: need, Used: used, Reserved: reserved, Budget: r.mg.HBMBudget()})
+}
+
+// KernelDone implements core.TraceSink. Kernels run inside entry
+// methods on PE scheduler processes; attribution falls back to -1 for
+// kernels issued outside any traced task.
+func (r *Recorder) KernelDone(p *sim.Proc, spec core.KernelSpec, start, d sim.Time) {
+	ref, ok := r.running[p]
+	if !ok {
+		ref = runRef{id: -1, pe: -1}
+	}
+	r.emit(&Kernel{ID: ref.id, PE: ref.pe, Flops: spec.Flops, Scale: spec.TrafficScale, Start: start, Dur: d})
+}
+
+// Retuned implements core.TraceSink.
+func (r *Recorder) Retuned(o core.Options) {
+	r.emit(&Retune{Knobs: KnobsOf(o)})
+}
+
+// TaskDone implements core.Observer.
+func (r *Recorder) TaskDone(t *charm.Task) {
+	r.emit(&TaskDone{ID: r.taskID(t)})
+}
+
+// Decided implements adapt.DecisionSink.
+func (r *Recorder) Decided(d adapt.Decision) {
+	r.emit(&Adapt{Window: d.Window, Action: d.Action})
+}
+
+// Finish appends the stats footer (once; later calls are no-ops) and
+// detaches nothing — the recorder may keep observing, but a finished
+// capture should be treated as complete.
+func (r *Recorder) Finish() {
+	if r.finished {
+		return
+	}
+	r.finished = true
+	st := &Stats{
+		Makespan:        r.eng.Now(),
+		Tasks:           r.tasks,
+		Fetches:         r.mg.Stats.Fetches,
+		Refetches:       r.mg.Stats.Refetches,
+		Evictions:       r.mg.Stats.Evictions,
+		ForcedEvictions: r.mg.Stats.ForcedEvictions,
+		StageRetries:    r.mg.Stats.StageRetries,
+		BytesFetched:    r.mg.Stats.BytesFetched,
+		BytesEvicted:    r.mg.Stats.BytesEvicted,
+		TasksStaged:     r.mg.Stats.TasksStaged,
+		TasksInline:     r.mg.Stats.TasksInline,
+	}
+	r.emit(st)
+}
+
+// Capture finalises (if needed) and returns the recorded event stream.
+func (r *Recorder) Capture() *Capture {
+	r.Finish()
+	return r.cap
+}

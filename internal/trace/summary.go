@@ -1,0 +1,306 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"github.com/hetmem/hetmem/internal/sim"
+)
+
+// interval is a half-open [Start, End) span of virtual time.
+type interval struct {
+	Start, End sim.Time
+}
+
+// mergeIntervals unions overlapping or touching intervals. The input is
+// consumed (sorted in place).
+func mergeIntervals(ivs []interval) []interval {
+	if len(ivs) == 0 {
+		return nil
+	}
+	sort.Slice(ivs, func(i, j int) bool {
+		if ivs[i].Start != ivs[j].Start {
+			return ivs[i].Start < ivs[j].Start
+		}
+		return ivs[i].End < ivs[j].End
+	})
+	out := ivs[:1]
+	for _, iv := range ivs[1:] {
+		last := &out[len(out)-1]
+		if iv.Start <= last.End {
+			if iv.End > last.End {
+				last.End = iv.End
+			}
+			continue
+		}
+		out = append(out, iv)
+	}
+	return out
+}
+
+// measure sums the lengths of a merged interval set.
+func measure(ivs []interval) sim.Time {
+	var total sim.Time
+	for _, iv := range ivs {
+		total += iv.End - iv.Start
+	}
+	return total
+}
+
+// intersect measures the overlap between two merged interval sets.
+func intersect(a, b []interval) sim.Time {
+	var total sim.Time
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		lo := a[i].Start
+		if b[j].Start > lo {
+			lo = b[j].Start
+		}
+		hi := a[i].End
+		if b[j].End < hi {
+			hi = b[j].End
+		}
+		if hi > lo {
+			total += hi - lo
+		}
+		if a[i].End < b[j].End {
+			i++
+		} else {
+			j++
+		}
+	}
+	return total
+}
+
+// LaneStat is per-lane occupancy: worker lanes (PEs) accumulate
+// entry-method execution time, IO lanes accumulate fetch/evict time.
+type LaneStat struct {
+	Lane      int
+	Kind      string // "worker" or "io"
+	Busy      sim.Time
+	Occupancy float64 // Busy / makespan
+	Events    int
+}
+
+// Summary is the terminal digest of a capture: makespan, per-lane
+// occupancy, compute/staging overlap and the exposed staging time.
+type Summary struct {
+	Makespan sim.Time
+	NumPEs   int
+	Tasks    int64
+	Events   int
+	Lanes    []LaneStat
+
+	// ComputeBusy is total entry-method execution time across PEs;
+	// StageBusy is total fetch+evict time across lanes.
+	ComputeBusy sim.Time
+	StageBusy   sim.Time
+
+	// OverlapPct is the share of staged time (union over lanes) hidden
+	// under compute (union over PEs). ExposedStage is the complement in
+	// seconds: moments when data moved but no PE computed — the
+	// fetch-critical-path the paper's overlap claim is about shrinking.
+	OverlapPct   float64
+	ExposedStage sim.Time
+
+	Fetches, Refetches, Evictions, ForcedEvictions, StageRetries int64
+}
+
+// Summarize digests a capture. Works on truncated captures (missing
+// footer): counters then come from counting events.
+func Summarize(c *Capture) *Summary {
+	s := &Summary{Events: len(c.Events)}
+	if m := c.Meta(); m != nil {
+		s.NumPEs = m.NumPEs
+	}
+	runOpen := map[int64]sim.Time{} // task id -> run start
+	laneBusy := map[int]sim.Time{}
+	laneEvents := map[int]int{}
+	laneIsIO := map[int]bool{}
+	var compute, stage []interval
+
+	note := func(lane int, io bool, start, end sim.Time) {
+		laneBusy[lane] += end - start
+		laneEvents[lane]++
+		if io {
+			laneIsIO[lane] = true
+			stage = append(stage, interval{start, end})
+		} else {
+			compute = append(compute, interval{start, end})
+		}
+	}
+	for _, e := range c.Events {
+		t := e.header().T
+		if t > s.Makespan {
+			s.Makespan = t
+		}
+		switch ev := e.(type) {
+		case *Send:
+			s.Tasks++
+		case *RunStart:
+			runOpen[ev.ID] = t
+		case *RunEnd:
+			if start, ok := runOpen[ev.ID]; ok {
+				note(ev.PE, false, start, t)
+				delete(runOpen, ev.ID)
+			}
+		case *FetchEnd:
+			s.Fetches++
+			if ev.Refetch {
+				s.Refetches++
+			}
+			note(ev.Lane, true, t-ev.Dur, t)
+		case *Evict:
+			s.Evictions++
+			if ev.Forced {
+				s.ForcedEvictions++
+			}
+			note(ev.Lane, true, t-ev.Dur, t)
+		case *Pressure:
+			s.StageRetries++
+		}
+	}
+	if st := c.Stats(); st != nil {
+		// The footer is authoritative where present: it includes
+		// movement the event stream may not attribute (counters agree
+		// on complete captures).
+		s.Fetches, s.Refetches = st.Fetches, st.Refetches
+		s.Evictions, s.ForcedEvictions = st.Evictions, st.ForcedEvictions
+		s.StageRetries = st.StageRetries
+		s.Makespan = st.Makespan
+	}
+
+	lanes := make([]int, 0, len(laneBusy))
+	for lane := range laneBusy {
+		lanes = append(lanes, lane)
+	}
+	sort.Ints(lanes)
+	for _, lane := range lanes {
+		kind := "worker"
+		if laneIsIO[lane] && (s.NumPEs == 0 || lane >= s.NumPEs) {
+			kind = "io"
+		}
+		ls := LaneStat{Lane: lane, Kind: kind, Busy: laneBusy[lane], Events: laneEvents[lane]}
+		if s.Makespan > 0 {
+			ls.Occupancy = float64(ls.Busy / s.Makespan)
+		}
+		s.Lanes = append(s.Lanes, ls)
+	}
+
+	cu := mergeIntervals(compute)
+	su := mergeIntervals(stage)
+	for _, ls := range s.Lanes {
+		if ls.Kind == "worker" {
+			s.ComputeBusy += ls.Busy
+		} else {
+			s.StageBusy += ls.Busy
+		}
+	}
+	stagedUnion := measure(su)
+	overlapped := intersect(su, cu)
+	if stagedUnion > 0 {
+		s.OverlapPct = float64(overlapped/stagedUnion) * 100
+	}
+	s.ExposedStage = stagedUnion - overlapped
+	return s
+}
+
+// String renders the summary for the terminal.
+func (s *Summary) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "capture: %d events, %d tasks, makespan %.6f s\n", s.Events, s.Tasks, s.Makespan)
+	fmt.Fprintf(&b, "movement: %d fetches (%d refetches), %d evictions (%d forced), %d stage retries\n",
+		s.Fetches, s.Refetches, s.Evictions, s.ForcedEvictions, s.StageRetries)
+	fmt.Fprintf(&b, "overlap: %.1f%% of staged time hidden under compute; exposed staging %.6f s\n",
+		s.OverlapPct, s.ExposedStage)
+	fmt.Fprintf(&b, "%-8s %-6s %12s %10s %8s\n", "lane", "kind", "busy (s)", "occupancy", "events")
+	for _, ls := range s.Lanes {
+		fmt.Fprintf(&b, "%-8d %-6s %12.6f %9.1f%% %8d\n", ls.Lane, ls.Kind, ls.Busy, ls.Occupancy*100, ls.Events)
+	}
+	return b.String()
+}
+
+// fnum renders a float with the shortest exact representation, so
+// schedule strings compare byte-for-byte.
+func fnum(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// ScheduleString extracts the canonical per-task schedule of a capture:
+// one line per task in ID order with its send, run-start and run-end
+// times and executing PE, floats rendered exactly. Two runs produced
+// the same schedule if and only if their ScheduleStrings are equal —
+// the replay-fidelity invariant of DESIGN.md section 11.
+func (c *Capture) ScheduleString() string {
+	type sched struct {
+		name       string
+		pe         int
+		sent       sim.Time
+		start, end sim.Time
+		ran        bool
+	}
+	byID := map[int64]*sched{}
+	order := []int64{}
+	for _, e := range c.Events {
+		t := e.header().T
+		switch ev := e.(type) {
+		case *Send:
+			byID[ev.ID] = &sched{
+				name: fmt.Sprintf("%s[%d].%s", ev.Arr, ev.Idx, ev.Entry),
+				pe:   ev.PE,
+				sent: t,
+			}
+			order = append(order, ev.ID)
+		case *RunStart:
+			if sc, ok := byID[ev.ID]; ok {
+				sc.start, sc.pe, sc.ran = t, ev.PE, true
+			}
+		case *RunEnd:
+			if sc, ok := byID[ev.ID]; ok {
+				sc.end = t
+			}
+		}
+	}
+	var b strings.Builder
+	for _, id := range order {
+		sc := byID[id]
+		if sc.ran {
+			fmt.Fprintf(&b, "%d %s pe=%d sent=%s run=%s..%s\n",
+				id, sc.name, sc.pe, fnum(sc.sent), fnum(sc.start), fnum(sc.end))
+		} else {
+			fmt.Fprintf(&b, "%d %s pe=%d sent=%s run=-\n", id, sc.name, sc.pe, fnum(sc.sent))
+		}
+	}
+	return b.String()
+}
+
+// Outcome condenses a capture for recorded-vs-replayed comparison.
+type Outcome struct {
+	Label           string  `json:"label"`
+	Makespan        float64 `json:"makespan_s"`
+	Fetches         int64   `json:"fetches"`
+	Refetches       int64   `json:"refetches"`
+	Evictions       int64   `json:"evictions"`
+	ForcedEvictions int64   `json:"forced_evictions"`
+	StageRetries    int64   `json:"stage_retries"`
+	Knobs           Knobs   `json:"knobs"`
+}
+
+// OutcomeOf digests a capture's footer (or, for truncated captures, its
+// event stream) into an Outcome.
+func OutcomeOf(label string, c *Capture) Outcome {
+	s := Summarize(c)
+	o := Outcome{
+		Label:           label,
+		Makespan:        float64(s.Makespan),
+		Fetches:         s.Fetches,
+		Refetches:       s.Refetches,
+		Evictions:       s.Evictions,
+		ForcedEvictions: s.ForcedEvictions,
+		StageRetries:    s.StageRetries,
+	}
+	if m := c.Meta(); m != nil {
+		o.Knobs = m.Knobs
+	}
+	return o
+}
