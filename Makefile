@@ -3,7 +3,7 @@ GO ?= go
 # gate does not drift with upstream.
 STATICCHECK_VERSION ?= 2024.1.1
 
-.PHONY: ci vet build test race audit lint hmlint staticcheck bench bench-adapt bench-evict bench-trace
+.PHONY: ci vet build test race audit lint hmlint staticcheck bench bench-adapt bench-evict bench-trace bench-engine
 
 # ci is the gate: static checks (vet + hmlint + staticcheck), build,
 # race-enabled tests, and the audit-enabled figure sweep (every
@@ -67,3 +67,12 @@ bench-evict:
 # policy deltas vs real runs.
 bench-trace:
 	$(GO) run ./cmd/hmrepro -replay -bench-trace BENCH_trace.json
+
+# bench-engine regenerates the committed engine hot-path snapshot from
+# X12: scheduler throughput at 10k/100k/1M tasks (vs the recorded
+# pre-overhaul baseline) and the serial-vs-parallel cluster substrate
+# check. Wall-clock numbers — expect host-to-host variance; the
+# byte_identical bit and the speedup order of magnitude are the stable
+# signals.
+bench-engine:
+	$(GO) run ./cmd/hmrepro -engine -bench-engine BENCH_engine.json

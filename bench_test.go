@@ -13,8 +13,10 @@ package hetmem_test
 import (
 	"testing"
 
+	"github.com/hetmem/hetmem/internal/charm"
 	"github.com/hetmem/hetmem/internal/core"
 	"github.com/hetmem/hetmem/internal/exp"
+	"github.com/hetmem/hetmem/internal/kernels"
 )
 
 // BenchmarkFig1Stream regenerates Fig. 1 (STREAM bandwidth DDR4 vs
@@ -221,6 +223,43 @@ func BenchmarkXLoadBalance(b *testing.B) {
 		speedup = float64(r.UnbalancedTime) / float64(r.BalancedTime)
 	}
 	b.ReportMetric(speedup, "LB-speedup")
+}
+
+// BenchmarkManagerDispatch drives the Fig 8 overflow stencil through
+// the full runtime/manager stack — task dispatch, policy view,
+// admission, fetch and eviction — and reports simulated tasks
+// dispatched per wall-clock second. This is the end-to-end hot path
+// the engine overhaul targets (the sim-only microbenchmarks live in
+// internal/sim).
+func BenchmarkManagerDispatch(b *testing.B) {
+	s := exp.Small
+	opts := core.DefaultOptions(core.MultiIO)
+	opts.HBMReserve = s.HBMReserve()
+	sizes := s.StencilReducedSizes()
+	var tasks int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		env := kernels.NewEnv(kernels.EnvConfig{
+			Spec:   s.Machine(),
+			NumPEs: s.NumPEs(),
+			Opts:   opts,
+			Params: charm.DefaultParams(),
+		})
+		app, err := kernels.NewStencil(env.MG, s.StencilConfig(sizes[len(sizes)-1]))
+		if err != nil {
+			env.Close()
+			b.Fatal(err)
+		}
+		if _, err := app.Run(); err != nil {
+			env.Close()
+			b.Fatal(err)
+		}
+		tasks = env.RT.Stats.TasksExecuted
+		env.Close()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(tasks)*float64(b.N)/b.Elapsed().Seconds(), "tasks/sec")
 }
 
 // BenchmarkXCluster regenerates extension X8 (multi-node weak scaling)

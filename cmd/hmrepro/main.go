@@ -7,6 +7,7 @@
 //	hmrepro [-scale full|small] [-skip-ext] [-audit] [-adapt] [-bench-adapt file]
 //	        [-evict] [-bench-evict file] [-evict-policy decl|lru|lookahead]
 //	        [-replay] [-bench-trace file] [-trace file]
+//	        [-engine] [-bench-engine file]
 //
 // With -audit every simulated run carries the invariant auditor from
 // internal/audit: conservation laws are checked continuously, the
@@ -29,6 +30,13 @@
 // deltas against real runs). -bench-trace writes its JSON snapshot
 // (including the capture-overhead measurement); -trace writes the
 // sample capture itself for hmtrace to inspect.
+//
+// -engine runs only X12, the engine hot-path benchmark (scheduler
+// throughput at 10k/100k/1M tasks plus the serial-vs-parallel cluster
+// substrate check). X12's numbers are host wall-clock — the one figure
+// that is not deterministic — so it never runs by default.
+// -bench-engine writes its JSON snapshot, including the recorded
+// pre-overhaul baseline and the speedup against it.
 package main
 
 import (
@@ -57,6 +65,8 @@ func main() {
 	replayOnly := flag.Bool("replay", false, "run only X11: trace replay fidelity + what-if consistency")
 	benchTrace := flag.String("bench-trace", "", "write the X11 result to this file as a JSON benchmark snapshot")
 	traceOut := flag.String("trace", "", "write X11's sample capture (the fig8 overflow run) to this JSONL file")
+	engineOnly := flag.Bool("engine", false, "run only X12: engine hot-path throughput + parallel cluster substrate (wall-clock)")
+	benchEngine := flag.String("bench-engine", "", "write the X12 result to this file as a JSON benchmark snapshot (implies -engine)")
 	flag.Parse()
 
 	scale, err := parseScale(*scaleName)
@@ -103,6 +113,15 @@ func main() {
 		x11 = r
 		return r.Table(), nil
 	}
+	var x12 *exp.X12Result
+	runX12 := func() (fmt.Stringer, error) {
+		r, err := exp.RunX12(scale)
+		if err != nil {
+			return nil, err
+		}
+		x12 = r
+		return r.Table(), nil
+	}
 
 	type figure struct {
 		name string
@@ -139,6 +158,9 @@ func main() {
 	}
 	if *replayOnly {
 		figures = []figure{{"X11", runX11}}
+	}
+	if *engineOnly || *benchEngine != "" {
+		figures = []figure{{"X12", runX12}}
 	}
 
 	fmt.Printf("hetmem reproduction — %s scale\n\n", scale)
@@ -197,6 +219,19 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "[bench snapshot written to %s]\n", *benchTrace)
 	}
+	if *benchEngine != "" {
+		if x12 == nil {
+			log.Fatal("-bench-engine needs the X12 figure (pass -engine)")
+		}
+		out, err := json.MarshalIndent(x12.Bench(), "", "  ")
+		if err != nil {
+			log.Fatalf("bench-engine: %v", err)
+		}
+		if err := os.WriteFile(*benchEngine, append(out, '\n'), 0o644); err != nil {
+			log.Fatalf("bench-engine: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "[bench snapshot written to %s]\n", *benchEngine)
+	}
 	if *traceOut != "" {
 		if x11 == nil || x11.Sample == nil {
 			log.Fatal("-trace needs the X11 figure (drop -skip-ext or pass -replay)")
@@ -211,6 +246,9 @@ func main() {
 	}
 	if x11 != nil && (!x11.Identical || !x11.Consistent()) {
 		log.Fatal("X11: replay validation failed (see table above)")
+	}
+	if x12 != nil && !x12.Cluster.Identical {
+		log.Fatal("X12: serial and parallel cluster runs diverged (see table above)")
 	}
 }
 

@@ -6,6 +6,7 @@
 //	hmtrace summary trace.jsonl
 //	hmtrace export [-o out.json] trace.jsonl
 //	hmtrace schedule trace.jsonl
+//	hmtrace diff a.jsonl b.jsonl
 //	hmtrace whatif [-strategy name] [-evict-policy name] [-evict-lazy=bool]
 //	        [-io-threads n] [-prefetch-depth n] [-hbm-reserve bytes] trace.jsonl
 //
@@ -16,11 +17,14 @@
 // prints the canonical per-task schedule used by the replay-fidelity
 // invariant. whatif reconstructs the captured workload and re-drives it
 // through the real scheduler under overridden knobs, then prints a
-// recorded-vs-replayed comparison table.
+// recorded-vs-replayed comparison table. diff aligns two captures
+// task-by-task and names the first divergent event — the tool to reach
+// for when a determinism check reports two runs that should have been
+// byte-identical but were not.
 //
 // Exit status: 0 on success; 2 when the capture is corrupt or
 // truncated — the readable prefix is still processed and reported
-// before exiting.
+// before exiting. diff exits 1 when the captures differ.
 package main
 
 import (
@@ -43,6 +47,7 @@ commands:
   summary    print occupancy, overlap and movement counters
   export     convert to Chrome trace_event JSON (-o file, default stdout)
   schedule   print the canonical per-task schedule
+  diff       align two captures task-by-task and name the first divergence
   whatif     replay the workload under different knobs and compare
 `
 
@@ -60,6 +65,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return cmdExport(rest, stdout, stderr)
 	case "schedule":
 		return cmdSchedule(rest, stdout, stderr)
+	case "diff":
+		return cmdDiff(rest, stdout, stderr)
 	case "whatif":
 		return cmdWhatIf(rest, stdout, stderr)
 	case "-h", "-help", "--help", "help":
@@ -172,6 +179,35 @@ func cmdSchedule(args []string, stdout, stderr io.Writer) int {
 	}
 	fmt.Fprint(stdout, c.ScheduleString())
 	return exitCode(damaged)
+}
+
+func cmdDiff(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("diff", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	if fs.Parse(args) != nil {
+		return 1
+	}
+	if fs.NArg() != 2 {
+		fmt.Fprintf(stderr, "hmtrace diff: want exactly two trace files, got %d args\n", fs.NArg())
+		return 1
+	}
+	a, damagedA, ok := load(fs.Arg(0), stderr)
+	if !ok {
+		return 2
+	}
+	b, damagedB, ok := load(fs.Arg(1), stderr)
+	if !ok {
+		return 2
+	}
+	r := trace.Diff(a, b)
+	fmt.Fprint(stdout, r.String())
+	if damagedA || damagedB {
+		return 2
+	}
+	if !r.Identical {
+		return 1
+	}
+	return 0
 }
 
 // strategies maps the -strategy short names to core mode strings.

@@ -107,6 +107,54 @@ func TestEndToEnd(t *testing.T) {
 		}
 	})
 
+	t.Run("diff identical", func(t *testing.T) {
+		code, out, errb := exec("diff", path, path)
+		if code != 0 {
+			t.Fatalf("exit %d, want 0\nstderr: %s", code, errb)
+		}
+		if !strings.Contains(out, "captures identical") {
+			t.Errorf("diff output: %s", out)
+		}
+	})
+
+	t.Run("diff divergent", func(t *testing.T) {
+		// Re-capture with a different eviction policy: same tasks, a
+		// different schedule.
+		c, err := trace.DecodeFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, err := trace.Reconstruct(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		knobs := w.Meta.Knobs
+		knobs.EvictPolicy = "lookahead"
+		res, err := w.Replay(trace.ReplayConfig{Knobs: &knobs})
+		if err != nil {
+			t.Fatal(err)
+		}
+		other := filepath.Join(dir, "other.jsonl")
+		if err := res.Capture.WriteFile(other); err != nil {
+			t.Fatal(err)
+		}
+		code, out, errb := exec("diff", path, other)
+		if code != 1 {
+			t.Fatalf("exit %d, want 1\nstderr: %s\nout: %s", code, errb, out)
+		}
+		for _, want := range []string{"captures differ", "first divergent event at index"} {
+			if !strings.Contains(out, want) {
+				t.Errorf("diff output missing %q:\n%s", want, out)
+			}
+		}
+	})
+
+	t.Run("diff wrong arity", func(t *testing.T) {
+		if code, _, _ := exec("diff", path); code != 1 {
+			t.Fatalf("diff with one file: exit %d, want 1", code)
+		}
+	})
+
 	t.Run("whatif bad strategy", func(t *testing.T) {
 		code, _, errb := exec("whatif", "-strategy", "bogus", path)
 		if code != 1 {

@@ -56,7 +56,18 @@ type Metrics struct {
 	inflightPeak    []int
 	fetchHist       Histogram
 	evictHist       Histogram
-	policy          map[string]*PolicyCounters
+	// policy attributes evictions to victim-selection policies. A run
+	// uses a handful of policy names at most, and the active one
+	// repeats for long stretches, so a first-use-order slice with a
+	// last-hit memo beats a map lookup per eviction event.
+	policy     []policyEntry
+	lastPolicy int
+}
+
+// policyEntry pairs a policy name with its counters in first-use order.
+type policyEntry struct {
+	name string
+	pc   PolicyCounters
 }
 
 // NewMetrics builds a metrics collector tracking queue-depth and
@@ -124,24 +135,32 @@ func (m *Metrics) PolicyEvict(policy string, forced bool) {
 }
 
 func (m *Metrics) policyCounters(name string) *PolicyCounters {
-	if m.policy == nil {
-		m.policy = make(map[string]*PolicyCounters)
+	if m.lastPolicy < len(m.policy) && m.policy[m.lastPolicy].name == name {
+		return &m.policy[m.lastPolicy].pc
 	}
-	pc := m.policy[name]
-	if pc == nil {
-		pc = &PolicyCounters{}
-		m.policy[name] = pc
+	for i := range m.policy {
+		if m.policy[i].name == name {
+			m.lastPolicy = i
+			return &m.policy[i].pc
+		}
 	}
-	return pc
+	m.policy = append(m.policy, policyEntry{name: name})
+	m.lastPolicy = len(m.policy) - 1
+	return &m.policy[m.lastPolicy].pc
 }
 
 // PolicyCountersFor returns the counters attributed to the named
 // policy (zero counters when it never acted).
 func (m *Metrics) PolicyCountersFor(name string) PolicyCounters {
-	if m == nil || m.policy[name] == nil {
+	if m == nil {
 		return PolicyCounters{}
 	}
-	return *m.policy[name]
+	for i := range m.policy {
+		if m.policy[i].name == name {
+			return m.policy[i].pc
+		}
+	}
+	return PolicyCounters{}
 }
 
 // StageRetry records a staging attempt aborted for lack of capacity.
@@ -233,8 +252,8 @@ func (m *Metrics) fill(s *Snapshot) {
 	s.Refetches = m.refetches
 	if len(m.policy) > 0 {
 		s.PolicyStats = make(map[string]PolicyCounters, len(m.policy))
-		for name, pc := range m.policy {
-			s.PolicyStats[name] = *pc
+		for i := range m.policy {
+			s.PolicyStats[m.policy[i].name] = m.policy[i].pc
 		}
 	}
 	s.QueueDepthPeak = append([]int(nil), m.queueDepthPeak...)

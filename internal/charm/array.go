@@ -149,8 +149,10 @@ func (a *Array) Send(from, idx int, entry *Entry, data interface{}) {
 		Elem:        el,
 		Entry:       entry,
 		Msg:         msg,
+		Seq:         rt.taskSeq,
 		EnqueueTime: rt.Engine().Now(),
 	}
+	rt.taskSeq++
 	if entry.Deps != nil {
 		t.Deps = entry.Deps(el, msg)
 	}

@@ -15,6 +15,12 @@ type Task struct {
 	Entry *Entry
 	Msg   *Message
 
+	// Seq is the runtime-wide send-order sequence number, assigned by
+	// Array.Send (Broadcast included). Dense and monotonic from 0, it
+	// lets per-task side tables (the trace recorder's ID table, for
+	// one) live in slices instead of maps.
+	Seq int64
+
 	// Deps is resolved from the entry's dependence declaration when
 	// the task is created.
 	Deps []DataDep

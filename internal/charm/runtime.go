@@ -134,6 +134,7 @@ type Runtime struct {
 	interceptor Interceptor
 	traceHook   TraceHook
 	tracer      *projections.Tracer
+	taskSeq     int64 // next Task.Seq, incremented per Array.Send
 
 	// Stats counts scheduler activity.
 	Stats struct {

@@ -53,6 +53,7 @@ func (s BlockState) String() string {
 // paper calls CkIOHandle. It implements charm.DataHandle.
 type Handle struct {
 	mgr  *Manager
+	id   int // dense index into the manager's handle table
 	name string
 	size int64
 

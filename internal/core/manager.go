@@ -115,6 +115,15 @@ type Manager struct {
 
 	handles []*Handle
 
+	// dist/distSeen are epoch-stamped scratch slices for
+	// queueDistances, indexed by Handle.id; distBusy flags an
+	// in-progress scan so a concurrently parked second scanner falls
+	// back to a private map instead of corrupting the shared scratch.
+	dist      []int
+	distSeen  []uint64
+	distEpoch uint64
+	distBusy  bool
+
 	// reserved protects HBM capacity promised to staging tasks whose
 	// fetches have not yet allocated it. Reserving the full remaining
 	// dependence footprint atomically before the first fetch prevents
@@ -281,7 +290,7 @@ func (m *Manager) NewHandle(name string, size int64) *Handle {
 	if size <= 0 {
 		panic("core: handle needs positive size")
 	}
-	h := &Handle{mgr: m, name: name, size: size}
+	h := &Handle{mgr: m, id: len(m.handles), name: name, size: size}
 	h.mu.AcquireCost = m.rt.Params().LockCost
 
 	alloc := m.mach.Alloc
@@ -445,11 +454,42 @@ func (m *Manager) evictCandidates() []*Handle {
 	return cands
 }
 
-// queueDistances maps every handle some wait-queued task depends on to
-// the queue position of its first consumer (minimum across queues).
+// queueDistances records, for every handle some wait-queued task
+// depends on, the queue position of its first consumer (minimum across
+// queues) into the manager's epoch-stamped scratch slices, indexed by
+// Handle.id — no per-view map allocation on the eviction hot path.
 // Walks each wait queue under its lock; no strategy holds a queue lock
-// while staging, so a staging process may take them here.
-func (m *Manager) queueDistances(p *sim.Proc) map[*Handle]int {
+// while staging, so a staging process may take them here. Returns the
+// epoch that stamps this scan's entries.
+func (m *Manager) queueDistances(p *sim.Proc) uint64 {
+	m.distEpoch++
+	epoch := m.distEpoch
+	if n := len(m.handles); len(m.dist) < n {
+		m.dist = append(m.dist, make([]int, n-len(m.dist))...)
+		m.distSeen = append(m.distSeen, make([]uint64, n-len(m.distSeen))...)
+	}
+	if m.strat == nil {
+		return epoch
+	}
+	m.distBusy = true
+	defer func() { m.distBusy = false }()
+	m.strat.scanWaiting(p, func(pos int, ot *OOCTask) {
+		for _, d := range ot.deps {
+			id := d.h.id
+			if m.distSeen[id] != epoch || pos < m.dist[id] {
+				m.distSeen[id] = epoch
+				m.dist[id] = pos
+			}
+		}
+	})
+	return epoch
+}
+
+// queueDistancesMap is the map-building fallback used when a second
+// process needs distances while the shared scratch is mid-scan (the
+// scanning process parked on a queue lock). Rare: only multi-IO-thread
+// configurations under queue-lock contention reach it.
+func (m *Manager) queueDistancesMap(p *sim.Proc) map[*Handle]int {
 	dist := make(map[*Handle]int)
 	if m.strat == nil {
 		return dist
@@ -468,18 +508,31 @@ func (m *Manager) queueDistances(p *sim.Proc) map[*Handle]int {
 // queue walk behind NextUse runs at most once per view, on first
 // demand, so policies that never ask (DeclOrder, LRU) pay nothing.
 func (m *Manager) policyView(p *sim.Proc) PolicyView {
-	var dist map[*Handle]int
+	var epoch uint64
+	var fallback map[*Handle]int
+	resolved := false
 	return PolicyView{
 		Now: m.rt.Engine().Now(),
 		NextUse: func(h *Handle) int {
 			if h.pendingUses == 0 {
 				return NoNextUse
 			}
-			if dist == nil {
-				dist = m.queueDistances(p)
+			if !resolved {
+				if m.distBusy {
+					fallback = m.queueDistancesMap(p)
+				} else {
+					epoch = m.queueDistances(p)
+				}
+				resolved = true
 			}
-			if d, ok := dist[h]; ok {
-				return d + 1
+			if fallback != nil {
+				if d, ok := fallback[h]; ok {
+					return d + 1
+				}
+				return 0
+			}
+			if m.distSeen[h.id] == epoch {
+				return m.dist[h.id] + 1
 			}
 			// Pending but not in any wait queue: its consumer is
 			// created or already staged — imminent.

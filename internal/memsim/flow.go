@@ -186,10 +186,8 @@ func (s *System) reallocate() {
 	}
 	s.flows = live
 
-	if s.completion != nil {
-		s.completion.Cancel()
-		s.completion = nil
-	}
+	s.completion.Cancel()
+	s.completion = sim.EventHandle{}
 	if len(s.flows) == 0 {
 		return
 	}

@@ -156,7 +156,7 @@ type System struct {
 
 	flows      []*Flow // in start order; removal preserves order
 	lastUpdate sim.Time
-	completion *sim.EventHandle
+	completion sim.EventHandle
 }
 
 // NewSystem builds a memory system on e from specs. Node IDs are the

@@ -14,10 +14,16 @@
 // it parks (Sleep, lock wait, condition wait, ...) and control returns to
 // the engine. No two processes ever run concurrently, so simulation state
 // needs no host-level locking.
+//
+// The hot path is allocation-free at steady state: fired and cancelled
+// events return to a free list and are reused by later Schedule calls
+// (generation counters keep stale handles harmless), the event heap is
+// intrusive (each event knows its own heap slot, so Cancel removes it in
+// O(log n) instead of leaving a dead entry behind), and processes live in
+// a dense slice indexed by pid rather than a map.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"math/rand"
@@ -32,32 +38,119 @@ type Time = float64
 const Infinity Time = math.MaxFloat64
 
 // event is a scheduled callback. Events with equal timestamps fire in
-// insertion (seq) order, which is what makes runs deterministic.
+// insertion (seq) order, which is what makes runs deterministic. Event
+// objects are pooled: gen increments each time the object is released
+// (fired or cancelled), invalidating any EventHandle minted for a
+// previous incarnation; idx is the object's current slot in the heap
+// (-1 when not queued), maintained by every sift so cancellation can
+// remove the entry directly.
 type event struct {
-	t    Time
-	seq  int64
-	fn   func()
-	dead bool // cancelled
+	t   Time
+	seq int64
+	fn  func()
+	idx int
+	gen uint64
 }
 
+// eventHeap is a binary min-heap ordered by (t, seq). The sift routines
+// are hand-rolled (rather than container/heap) so they can maintain the
+// intrusive idx field and skip interface dispatch on the hot path.
 type eventHeap []*event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) less(i, j int) bool {
 	if h[i].t != h[j].t {
 		return h[i].t < h[j].t
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() interface{} {
+
+func (h eventHeap) up(i int) {
+	ev := h[i]
+	for i > 0 {
+		parent := (i - 1) / 2
+		p := h[parent]
+		if p.t < ev.t || (p.t == ev.t && p.seq < ev.seq) {
+			break
+		}
+		h[i] = p
+		p.idx = i
+		i = parent
+	}
+	h[i] = ev
+	ev.idx = i
+}
+
+func (h eventHeap) down(i int) {
+	n := len(h)
+	ev := h[i]
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		child := left
+		if right := left + 1; right < n && h.less(right, left) {
+			child = right
+		}
+		c := h[child]
+		if ev.t < c.t || (ev.t == c.t && ev.seq < c.seq) {
+			break
+		}
+		h[i] = c
+		c.idx = i
+		i = child
+	}
+	h[i] = ev
+	ev.idx = i
+}
+
+func (h *eventHeap) push(ev *event) {
+	*h = append(*h, ev)
+	ev.idx = len(*h) - 1
+	h.up(ev.idx)
+}
+
+// pop removes and returns the earliest event.
+func (h *eventHeap) pop() *event {
 	old := *h
 	n := len(old)
-	e := old[n-1]
+	ev := old[0]
+	last := old[n-1]
 	old[n-1] = nil
 	*h = old[:n-1]
-	return e
+	if n > 1 {
+		old[0] = last
+		(*h).down(0)
+	}
+	ev.idx = -1
+	return ev
+}
+
+// remove deletes the event at slot i (used by Cancel).
+func (h *eventHeap) remove(i int) {
+	old := *h
+	n := len(old)
+	ev := old[i]
+	last := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	if i < n-1 {
+		old[i] = last
+		(*h).down(i)
+		if last.idx == i {
+			(*h).up(i)
+		}
+	}
+	ev.idx = -1
+}
+
+// EventStats counts engine activity since creation; used by the X12
+// throughput benchmark and by tests asserting pool behaviour.
+type EventStats struct {
+	Scheduled int64 // Schedule/After calls
+	Fired     int64 // events whose callback ran
+	Cancelled int64 // events removed from the heap by Cancel
+	Reused    int64 // Schedule calls served from the free list
 }
 
 // Engine is a discrete-event simulation engine. The zero value is not
@@ -67,18 +160,21 @@ type Engine struct {
 	seed    int64
 	seq     int64
 	events  eventHeap
+	free    []*event      // released event objects awaiting reuse
 	handoff chan struct{} // procs signal the engine here when they park or exit
 	current *Proc
-	procs   map[int]*Proc
-	nextPID int
+	procs   []*Proc // indexed by pid; nil once the process finishes
 	rng     *rand.Rand
 	failure interface{} // panic value propagated out of a process
 	nlive   int         // processes spawned and not yet finished
+	stats   EventStats
 
 	// quiesceHook runs whenever Run drains the event queue. With live
 	// processes still parked this is the only moment a silent hang can
 	// be observed, so the audit layer uses it as its watchdog: nothing
 	// will ever run again unless an external Schedule arrives.
+	// RunBefore never fires it — a windowed engine that is locally idle
+	// may still receive cross-engine messages at the next barrier.
 	quiesceHook func()
 }
 
@@ -87,7 +183,6 @@ type Engine struct {
 func NewEngine(seed int64) *Engine {
 	return &Engine{
 		handoff: make(chan struct{}),
-		procs:   make(map[int]*Proc),
 		seed:    seed,
 		rng:     rand.New(rand.NewSource(seed)),
 	}
@@ -103,58 +198,99 @@ func (e *Engine) Seed() int64 { return e.seed }
 // Rand returns the engine's deterministic random source.
 func (e *Engine) Rand() *rand.Rand { return e.rng }
 
+// EventStats returns cumulative engine activity counters.
+func (e *Engine) EventStats() EventStats { return e.stats }
+
+// PendingEvents returns the number of events currently in the heap.
+// Cancelled events leave the heap immediately, so a workload that
+// schedules and cancels timeouts in a loop keeps this bounded.
+func (e *Engine) PendingEvents() int { return len(e.events) }
+
 // Schedule registers fn to run at absolute virtual time t. Scheduling in
 // the past is an error and panics (it would break causality). The
 // returned handle can cancel the event before it fires.
-func (e *Engine) Schedule(t Time, fn func()) *EventHandle {
+func (e *Engine) Schedule(t Time, fn func()) EventHandle {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
 	}
-	ev := &event{t: t, seq: e.seq, fn: fn}
+	var ev *event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		e.stats.Reused++
+	} else {
+		ev = &event{}
+	}
+	ev.t, ev.seq, ev.fn = t, e.seq, fn
 	e.seq++
-	heap.Push(&e.events, ev)
-	return &EventHandle{ev: ev}
+	e.stats.Scheduled++
+	e.events.push(ev)
+	return EventHandle{eng: e, ev: ev, gen: ev.gen}
 }
 
 // After registers fn to run d seconds from now.
-func (e *Engine) After(d Time, fn func()) *EventHandle {
+func (e *Engine) After(d Time, fn func()) EventHandle {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: negative delay %v", d))
 	}
 	return e.Schedule(e.now+d, fn)
 }
 
-// EventHandle allows cancelling a scheduled event.
-type EventHandle struct{ ev *event }
-
-// Cancel prevents the event from firing. Cancelling an already-fired or
-// already-cancelled event is a no-op.
-func (h *EventHandle) Cancel() {
-	if h != nil && h.ev != nil {
-		h.ev.dead = true
-	}
+// release returns an event object to the free list, invalidating all
+// handles minted for its current incarnation.
+func (e *Engine) release(ev *event) {
+	ev.fn = nil
+	ev.gen++
+	e.free = append(e.free, ev)
 }
 
-// Cancelled reports whether the event was cancelled before firing.
-func (h *EventHandle) Cancelled() bool { return h == nil || h.ev == nil || h.ev.dead }
+// EventHandle allows cancelling a scheduled event. It is a value, not a
+// pointer — Schedule mints one without allocating. The zero value reads
+// as cancelled and Cancel on it is a no-op.
+type EventHandle struct {
+	eng       *Engine
+	ev        *event
+	gen       uint64
+	cancelled bool
+}
+
+// Cancel prevents the event from firing and removes it from the event
+// heap immediately (the object is recycled). Cancelling an already-fired
+// or already-cancelled event is a no-op.
+func (h *EventHandle) Cancel() {
+	if h == nil || h.ev == nil || h.cancelled {
+		return
+	}
+	h.cancelled = true
+	if h.ev.gen != h.gen {
+		return // already fired, cancelled elsewhere, or recycled
+	}
+	h.eng.events.remove(h.ev.idx)
+	h.eng.stats.Cancelled++
+	h.eng.release(h.ev)
+}
+
+// Cancelled reports whether Cancel was called on this handle (the nil
+// and zero handles read as cancelled).
+func (h *EventHandle) Cancelled() bool { return h == nil || h.ev == nil || h.cancelled }
 
 // Spawn creates a process executing body and schedules it to start at the
 // current virtual time. The returned Proc is also passed to body.
 func (e *Engine) Spawn(name string, body func(p *Proc)) *Proc {
 	p := &Proc{
 		e:      e,
-		id:     e.nextPID,
+		id:     len(e.procs),
 		name:   name,
 		resume: make(chan struct{}),
 	}
-	e.nextPID++
-	e.procs[p.id] = p
+	e.procs = append(e.procs, p)
 	e.nlive++
 	go func() {
 		defer func() {
 			p.done = true
 			e.nlive--
-			delete(e.procs, p.id)
+			e.procs[p.id] = nil
 			if r := recover(); r != nil && r != errKilled {
 				e.failure = procPanic{proc: p.name, value: r}
 			}
@@ -212,7 +348,7 @@ func (e *Engine) wake(p *Proc) {
 }
 
 // WakeAt schedules p to resume at absolute time t (used for timeouts).
-func (e *Engine) wakeAt(t Time, p *Proc) *EventHandle {
+func (e *Engine) wakeAt(t Time, p *Proc) EventHandle {
 	return e.Schedule(t, func() {
 		if p.done || p.waking {
 			return
@@ -228,9 +364,28 @@ func (e *Engine) wakeAt(t Time, p *Proc) *EventHandle {
 // invariant diagnostics.
 func (e *Engine) SetQuiesceHook(fn func()) { e.quiesceHook = fn }
 
+// step fires the earliest event: pops it, advances the clock, releases
+// the object for reuse and runs the callback. The object is released
+// before the callback runs so the callback can recycle it immediately;
+// handles to the fired incarnation are invalidated by the gen bump.
+func (e *Engine) step(ev *event) {
+	e.events.pop()
+	if ev.t < e.now {
+		panic("sim: event time went backwards")
+	}
+	e.now = ev.t
+	fn := ev.fn
+	e.release(ev)
+	e.stats.Fired++
+	fn()
+}
+
 // Run executes events until the event queue is empty or the virtual
 // clock would pass until. It returns the virtual time at which it
-// stopped. Processes still blocked when the queue drains are left parked
+// stopped. When Run stops short of a finite until — on a future event or
+// a drained queue — the clock advances to until, so callers mixing
+// Run(t) with After(d) measure delays from t, not from the last fired
+// event. Processes still blocked when the queue drains are left parked
 // (a subsequent Schedule/wake can revive them); call Close to reap them.
 func (e *Engine) Run(until Time) Time {
 	for len(e.events) > 0 {
@@ -238,20 +393,42 @@ func (e *Engine) Run(until Time) Time {
 		if ev.t > until {
 			break
 		}
-		heap.Pop(&e.events)
-		if ev.dead {
-			continue
-		}
-		if ev.t < e.now {
-			panic("sim: event time went backwards")
-		}
-		e.now = ev.t
-		ev.fn()
+		e.step(ev)
+	}
+	if until < Infinity && e.now < until {
+		e.now = until
 	}
 	if len(e.events) == 0 && e.quiesceHook != nil {
 		e.quiesceHook()
 	}
 	return e.now
+}
+
+// RunBefore executes events strictly earlier than horizon and returns
+// the current time (that of the last fired event; the clock is NOT
+// advanced to the horizon, since a windowed caller will deliver new
+// events from other engines before running the next window). It never
+// fires the quiesce hook: a locally idle engine is not globally
+// quiescent while barrier messages may still arrive. This is the
+// building block for conservative parallel DES (internal/cluster).
+func (e *Engine) RunBefore(horizon Time) Time {
+	for len(e.events) > 0 {
+		ev := e.events[0]
+		if ev.t >= horizon {
+			break
+		}
+		e.step(ev)
+	}
+	return e.now
+}
+
+// PeekTime returns the timestamp of the earliest pending event, or
+// (0, false) when the queue is empty.
+func (e *Engine) PeekTime() (Time, bool) {
+	if len(e.events) == 0 {
+		return 0, false
+	}
+	return e.events[0].t, true
 }
 
 // RunAll executes events until the queue is empty.
@@ -268,9 +445,9 @@ func (e *Engine) LiveProcs() int { return e.nlive }
 // BlockedProcNames returns the names of processes that are still alive
 // (parked) — useful in deadlock diagnostics and tests.
 func (e *Engine) BlockedProcNames() []string {
-	names := make([]string, 0, len(e.procs))
+	names := make([]string, 0, e.nlive)
 	for _, p := range e.procs {
-		if !p.done {
+		if p != nil && !p.done {
 			names = append(names, p.name)
 		}
 	}
@@ -283,14 +460,9 @@ func (e *Engine) BlockedProcNames() []string {
 // so teardown is as deterministic as the run itself.
 func (e *Engine) Close() {
 	for {
-		ids := make([]int, 0, len(e.procs))
-		for id := range e.procs {
-			ids = append(ids, id)
-		}
-		sort.Ints(ids)
 		var victim *Proc
-		for _, id := range ids {
-			if p := e.procs[id]; !p.done {
+		for _, p := range e.procs {
+			if p != nil && !p.done {
 				victim = p
 				break
 			}

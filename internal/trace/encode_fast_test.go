@@ -1,0 +1,101 @@
+package trace
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+// floatRegimes covers every branch of encoding/json's float renderer:
+// zero, plain 'f' range, both 'e' ranges, single- and multi-digit
+// exponents (the "e-0X" trim), negatives and extremes.
+var floatRegimes = []float64{
+	0, 1, -1, 0.5, 2.25e-3,
+	1e-6, 1.5e-6, 9.999999e-7, 1e-7, -3.25e-9, 4.25e-21,
+	1e21, -2.5e21, 1.7976931348623157e308, 5e-324,
+	123456.789, 0.1, 1.0 / 3.0,
+	math.Copysign(0, -1), // negative zero renders as "-0"
+}
+
+// TestAppendEventMatchesJSON pins the hard requirement on the fast
+// encoder: for every hot event kind and every float regime, the bytes
+// must equal json.Marshal's exactly.
+func TestAppendEventMatchesJSON(t *testing.T) {
+	var events []Event
+	for i, f := range floatRegimes {
+		hdr := Ev{Seq: int64(i), T: f}
+		events = append(events,
+			&HandleDecl{Ev: hdr, Block: "A.halo_0", Bytes: 1 << 20, Node: "HBM"},
+			&Send{Ev: hdr, ID: int64(i), Arr: "stencil", Idx: i, Entry: "iterate", PE: i % 8, From: -1, Prefetch: true,
+				Deps: []Dep{{Block: "blk_0", Bytes: 4096, Mode: "RW"}, {Block: "blk_1", Bytes: 0, Mode: "RO"}}},
+			&Send{Ev: hdr, ID: 7, Arr: "a", Idx: 0, Entry: "e", PE: 0, From: 3, Prefetch: false}, // no deps: omitempty
+			&Admit{Ev: hdr, ID: 2, PE: 1, Bytes: 123, Staged: i%2 == 0},
+			&RunStart{Ev: hdr, ID: 3, PE: 2},
+			&RunEnd{Ev: hdr, ID: 3, PE: 2},
+			&Kernel{Ev: hdr, ID: -1, PE: -1, Flops: f, Scale: 0.75, Start: f, Dur: f},
+			&FetchStart{Ev: hdr, Lane: 0, Block: "b", Bytes: 1},
+			&FetchEnd{Ev: hdr, Lane: 1, Block: "b", Bytes: 1, Dur: f, Src: "DDR4", Refetch: true},
+			&Evict{Ev: hdr, Lane: 2, Block: "b", Bytes: 9, Dur: f, Forced: false, Policy: "lookahead"},
+			&Pressure{Ev: hdr, PE: 4, Task: "stencil[3].iterate", Need: 5, Used: 6, Reserved: 7, Budget: 8},
+			&Adapt{Ev: hdr, Window: i, Action: "switch:multiio"},
+			&TaskDone{Ev: hdr, ID: int64(i)},
+		)
+	}
+	for _, e := range events {
+		e.header().K = e.Kind()
+		want, err := json.Marshal(e)
+		if err != nil {
+			t.Fatalf("json.Marshal(%T): %v", e, err)
+		}
+		got, ok := appendEvent(nil, e)
+		if !ok {
+			t.Fatalf("appendEvent(%T) took the fallback for safe input %s", e, want)
+		}
+		if string(got) != string(want) {
+			t.Errorf("%T encoding mismatch:\n fast: %s\n json: %s", e, got, want)
+		}
+	}
+}
+
+// TestAppendEventFallsBackOnUnsafeStrings: strings needing escapes must
+// refuse the fast path so json.Marshal keeps its exact escaping.
+func TestAppendEventFallsBackOnUnsafeStrings(t *testing.T) {
+	unsafe := []string{`a"b`, `a\b`, "a<b", "a>b", "a&b", "a\nb", "héllo"}
+	for _, s := range unsafe {
+		ev := &HandleDecl{Block: s, Bytes: 1, Node: "HBM"}
+		ev.K = ev.Kind()
+		if _, ok := appendEvent(nil, ev); ok {
+			t.Errorf("appendEvent accepted unsafe string %q", s)
+		}
+	}
+}
+
+// TestEncodeMixedFallback: a capture mixing fast-path and fallback
+// events encodes identically to a pure json.Marshal loop.
+func TestEncodeMixedFallback(t *testing.T) {
+	c := &Capture{}
+	meta := &Meta{Version: Version, NumPEs: 4, Seed: 9}
+	meta.K = meta.Kind()
+	c.Events = append(c.Events, meta)
+	re := &Retune{Knobs: Knobs{Mode: "multiio", EvictPolicy: "lru"}}
+	re.K = re.Kind()
+	weird := &HandleDecl{Block: "needs<escape>", Bytes: 2, Node: "DDR4"}
+	weird.K = weird.Kind()
+	done := &TaskDone{ID: 1}
+	done.K = done.Kind()
+	done.T = 3.5e-8
+	c.Events = append(c.Events, re, weird, done)
+
+	var want []byte
+	for _, e := range c.Events {
+		b, err := json.Marshal(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, b...)
+		want = append(want, '\n')
+	}
+	if got := c.Bytes(); string(got) != string(want) {
+		t.Fatalf("Encode mismatch:\n got: %s\nwant: %s", got, want)
+	}
+}

@@ -23,9 +23,14 @@ type Recorder struct {
 	cap *Capture
 	seq int64
 
-	nextID  int64
-	ids     map[*charm.Task]int64
-	running map[*sim.Proc]runRef
+	nextID int64
+	// ids is indexed by Task.Seq (dense send-order numbering from the
+	// runtime); -1 means not yet assigned. Trace IDs are still handed
+	// out in first-sight order, so captures are byte-identical to the
+	// map-based recorder's.
+	ids []int64
+	// running is indexed by Proc.ID(); id -1 marks a free slot.
+	running []runRef
 	tasks   int64
 	src     string // far-node name, the source of every fetch
 
@@ -44,12 +49,10 @@ type runRef struct {
 func NewRecorder(mg *core.Manager) *Recorder {
 	rt := mg.Runtime()
 	r := &Recorder{
-		mg:      mg,
-		eng:     rt.Engine(),
-		cap:     &Capture{},
-		ids:     make(map[*charm.Task]int64),
-		running: make(map[*sim.Proc]runRef),
-		src:     rt.Machine().DDR().Name,
+		mg:  mg,
+		eng: rt.Engine(),
+		cap: &Capture{},
+		src: rt.Machine().DDR().Name,
 	}
 	r.emit(&Meta{
 		Version: Version,
@@ -89,11 +92,14 @@ func (r *Recorder) emit(e Event) {
 // taskID returns the send-time ID of t, assigning one if the task was
 // created before the recorder attached.
 func (r *Recorder) taskID(t *charm.Task) int64 {
-	id, ok := r.ids[t]
-	if !ok {
+	for int(t.Seq) >= len(r.ids) {
+		r.ids = append(r.ids, -1)
+	}
+	id := r.ids[t.Seq]
+	if id < 0 {
 		id = r.nextID
 		r.nextID++
-		r.ids[t] = id
+		r.ids[t.Seq] = id
 	}
 	return id
 }
@@ -124,14 +130,23 @@ func (r *Recorder) TaskSent(t *charm.Task) {
 // TaskRunStart implements charm.TraceHook.
 func (r *Recorder) TaskRunStart(p *sim.Proc, pe *charm.PE, t *charm.Task) {
 	id := r.taskID(t)
-	r.running[p] = runRef{id: id, pe: pe.ID()}
+	r.setRunning(p.ID(), runRef{id: id, pe: pe.ID()})
 	r.emit(&RunStart{ID: id, PE: pe.ID()})
 }
 
 // TaskRunEnd implements charm.TraceHook.
 func (r *Recorder) TaskRunEnd(p *sim.Proc, pe *charm.PE, t *charm.Task) {
 	r.emit(&RunEnd{ID: r.taskID(t), PE: pe.ID()})
-	delete(r.running, p)
+	r.setRunning(p.ID(), runRef{id: -1, pe: -1})
+}
+
+// setRunning stores the task a scheduler process is executing, growing
+// the pid-indexed table on demand.
+func (r *Recorder) setRunning(pid int, ref runRef) {
+	for pid >= len(r.running) {
+		r.running = append(r.running, runRef{id: -1, pe: -1})
+	}
+	r.running[pid] = ref
 }
 
 // HandleDeclared implements core.TraceSink.
@@ -168,9 +183,9 @@ func (r *Recorder) StageRetry(pe int, t *charm.Task, need, used, reserved int64)
 // methods on PE scheduler processes; attribution falls back to -1 for
 // kernels issued outside any traced task.
 func (r *Recorder) KernelDone(p *sim.Proc, spec core.KernelSpec, start, d sim.Time) {
-	ref, ok := r.running[p]
-	if !ok {
-		ref = runRef{id: -1, pe: -1}
+	ref := runRef{id: -1, pe: -1}
+	if pid := p.ID(); pid < len(r.running) {
+		ref = r.running[pid]
 	}
 	r.emit(&Kernel{ID: ref.id, PE: ref.pe, Flops: spec.Flops, Scale: spec.TrafficScale, Start: start, Dur: d})
 }

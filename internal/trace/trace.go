@@ -371,15 +371,24 @@ func (c *Capture) Stats() *Stats {
 
 // Encode writes the capture as JSONL. The output is a pure function of
 // the events: struct-field order, shortest-round-trip floats, no maps,
-// no wall clock.
+// no wall clock. Hot event kinds go through the hand-rolled appenders
+// in encode_fast.go (byte-identical to json.Marshal, pinned by test);
+// rare kinds and escape-needing strings fall back to the reflective
+// encoder.
 func (c *Capture) Encode(w io.Writer) error {
-	bw := bufio.NewWriter(w)
+	bw := bufio.NewWriterSize(w, 1<<16)
+	var scratch []byte
 	for _, e := range c.Events {
-		b, err := json.Marshal(e)
-		if err != nil {
-			return fmt.Errorf("trace: encode %s event: %w", e.Kind(), err)
+		if b, ok := appendEvent(scratch[:0], e); ok {
+			scratch = b[:0]
+			bw.Write(b)
+		} else {
+			b, err := json.Marshal(e)
+			if err != nil {
+				return fmt.Errorf("trace: encode %s event: %w", e.Kind(), err)
+			}
+			bw.Write(b)
 		}
-		bw.Write(b)
 		bw.WriteByte('\n')
 	}
 	return bw.Flush()
