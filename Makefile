@@ -3,7 +3,7 @@ GO ?= go
 # gate does not drift with upstream.
 STATICCHECK_VERSION ?= 2024.1.1
 
-.PHONY: ci vet build test race audit lint hmlint staticcheck bench bench-adapt bench-evict bench-trace bench-engine
+.PHONY: ci vet build test race audit lint hmlint staticcheck bench bench-adapt bench-evict bench-trace bench-engine bench-serve
 
 # ci is the gate: static checks (vet + hmlint + staticcheck), build,
 # race-enabled tests, and the audit-enabled figure sweep (every
@@ -76,3 +76,12 @@ bench-trace:
 # signals.
 bench-engine:
 	$(GO) run ./cmd/hmrepro -engine -bench-engine BENCH_engine.json
+
+# bench-serve regenerates the committed multi-tenant service snapshot
+# from the full-scale X13 figure: session makespan percentiles + Jain's
+# fairness index under three Poisson arrival rates, and the
+# budget-isolation run (small tenant vs staging hogs, fair lanes
+# on/off). Fully virtual-time: two consecutive runs are byte-identical,
+# and a failed isolation gate exits nonzero.
+bench-serve:
+	$(GO) run ./cmd/hmrepro -serve -bench-serve BENCH_serve.json

@@ -1,0 +1,160 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+
+	"github.com/hetmem/hetmem/internal/serve"
+	"github.com/hetmem/hetmem/internal/sim"
+	"github.com/hetmem/hetmem/internal/trace"
+)
+
+func TestParseTenant(t *testing.T) {
+	cases := []struct {
+		in   string
+		want serve.TenantConfig
+		err  bool
+	}{
+		{in: "acme:512MB:2", want: serve.TenantConfig{Name: "acme", Budget: 512 << 20, Weight: 2}},
+		{in: "beta:1GB", want: serve.TenantConfig{Name: "beta", Budget: 1 << 30, Weight: 1}},
+		{in: "c:1024", want: serve.TenantConfig{Name: "c", Budget: 1024, Weight: 1}},
+		{in: "d:64KB:1", want: serve.TenantConfig{Name: "d", Budget: 64 << 10, Weight: 1}},
+		{in: "noBudget", err: true},
+		{in: ":1GB", err: true},
+		{in: "w:1GB:0", err: true},
+		{in: "w:1GB:x", err: true},
+		{in: "w:-5", err: true},
+		{in: "a:b:c:d", err: true},
+	}
+	for _, c := range cases {
+		got, err := parseTenant(c.in)
+		if c.err {
+			if err == nil {
+				t.Errorf("parseTenant(%q) accepted, want error", c.in)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("parseTenant(%q): %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("parseTenant(%q) = %+v, want %+v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestBuildConfig(t *testing.T) {
+	cfg, err := buildConfig("small", 5e-3, 8, true, true, 16, 7, "256MB",
+		[]serve.TenantConfig{{Name: "a", Budget: 1 << 30, Weight: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.NumPEs != 8 || cfg.Spec.HBMCap != 2<<30 {
+		t.Fatalf("small scale config = %+v", cfg)
+	}
+	if cfg.DefaultBudget != 256<<20 || cfg.BaseSeed != 7 || !cfg.Audit {
+		t.Fatalf("flag passthrough lost: %+v", cfg)
+	}
+	if cfg.Window != sim.Time(5e-3) {
+		t.Fatalf("window = %v", cfg.Window)
+	}
+	if _, err := buildConfig("medium", 5e-3, 8, true, false, 16, 1, "", nil); err == nil {
+		t.Fatal("unknown scale accepted")
+	}
+	if _, err := buildConfig("small", 5e-3, 8, true, false, 16, 1, "zap", nil); err == nil {
+		t.Fatal("bad default budget accepted")
+	}
+}
+
+// TestDaemonEndToEnd boots the daemon on an ephemeral port, submits a
+// traced session over HTTP, waits for completion, then delivers the
+// shutdown signal and checks the drain: exit 0, capture flushed to the
+// capture dir with a stats footer.
+func TestDaemonEndToEnd(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	cfg, err := buildConfig("small", 5e-3, 8, true, false, 16, 1, "",
+		[]serve.TenantConfig{{Name: "acme", Budget: 512 << 20, Weight: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigCh := make(chan os.Signal, 1)
+	var stdout, stderr bytes.Buffer
+	exited := make(chan int, 1)
+	go func() { exited <- runDaemon(cfg, ln, dir, sigCh, &stdout, &stderr) }()
+
+	base := "http://" + ln.Addr().String()
+	body := strings.NewReader(`{"tenant":"acme","kernel":"stencil","bytes":536870912,"reduced":134217728,"footprint":201326592,"iterations":2,"sweeps":4,"trace":true}`)
+	resp, err := http.Post(base+"/v1/sessions", "application/json", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sess struct {
+		ID    string `json:"id"`
+		State string `json:"state"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&sess); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted || sess.ID == "" {
+		t.Fatalf("submit = %d %+v", resp.StatusCode, sess)
+	}
+
+	// Poll until the loop finishes the session.
+	for tries := 0; ; tries++ {
+		resp, err := http.Get(base + "/v1/sessions/" + sess.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got struct {
+			State string `json:"state"`
+			Error string `json:"error"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if got.State == "done" {
+			break
+		}
+		if got.State == "failed" || got.State == "canceled" {
+			t.Fatalf("session ended %s: %s", got.State, got.Error)
+		}
+		if tries > 20000 {
+			t.Fatalf("session stuck in %s", got.State)
+		}
+	}
+
+	sigCh <- syscall.SIGTERM
+	if code := <-exited; code != 0 {
+		t.Fatalf("daemon exit = %d\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "drained: 1 done") {
+		t.Fatalf("drain summary missing:\n%s", stdout.String())
+	}
+
+	// The capture landed in the capture dir with a stats footer.
+	path := filepath.Join(dir, sess.ID+".jsonl")
+	cap, err := trace.DecodeFile(path)
+	if err != nil {
+		t.Fatalf("flushed capture: %v", err)
+	}
+	if cap.Meta() == nil || cap.Meta().Session != sess.ID || cap.Meta().Tenant != "acme" {
+		t.Fatalf("capture meta = %+v", cap.Meta())
+	}
+	if cap.Stats() == nil || cap.Stats().Tasks == 0 {
+		t.Fatal("flushed capture missing stats footer")
+	}
+}

@@ -8,6 +8,7 @@
 //	        [-evict] [-bench-evict file] [-evict-policy decl|lru|lookahead]
 //	        [-replay] [-bench-trace file] [-trace file]
 //	        [-engine] [-bench-engine file]
+//	        [-serve] [-bench-serve file]
 //
 // With -audit every simulated run carries the invariant auditor from
 // internal/audit: conservation laws are checked continuously, the
@@ -37,6 +38,15 @@
 // that is not deterministic — so it never runs by default.
 // -bench-engine writes its JSON snapshot, including the recorded
 // pre-overhaul baseline and the speedup against it.
+//
+// -serve runs only X13, the multi-tenant service experiment: the
+// hetmemd scheduler under Poisson session arrivals (three symmetric
+// tenants, three arrival rates) plus the budget-isolation run (small
+// tenant vs staging hogs, fair lanes on/off). X13 is fully virtual-time
+// and deterministic, so it is part of the default extension sweep.
+// -bench-serve writes its JSON snapshot (implies -serve); whenever X13
+// runs, a failed isolation gate (Pass() false) makes the command exit
+// nonzero.
 package main
 
 import (
@@ -67,6 +77,8 @@ func main() {
 	traceOut := flag.String("trace", "", "write X11's sample capture (the fig8 overflow run) to this JSONL file")
 	engineOnly := flag.Bool("engine", false, "run only X12: engine hot-path throughput + parallel cluster substrate (wall-clock)")
 	benchEngine := flag.String("bench-engine", "", "write the X12 result to this file as a JSON benchmark snapshot (implies -engine)")
+	serveOnly := flag.Bool("serve", false, "run only X13: multi-tenant service arrivals + budget isolation")
+	benchServe := flag.String("bench-serve", "", "write the X13 result to this file as a JSON benchmark snapshot (implies -serve)")
 	flag.Parse()
 
 	scale, err := parseScale(*scaleName)
@@ -122,6 +134,15 @@ func main() {
 		x12 = r
 		return r.Table(), nil
 	}
+	var x13 *exp.X13Result
+	runX13 := func() (fmt.Stringer, error) {
+		r, err := exp.RunX13(scale)
+		if err != nil {
+			return nil, err
+		}
+		x13 = r
+		return r.Table(), nil
+	}
 
 	type figure struct {
 		name string
@@ -148,6 +169,7 @@ func main() {
 			figure{"X9", runX9},
 			figure{"X10", runX10},
 			figure{"X11", runX11},
+			figure{"X13", runX13},
 		)
 	}
 	if *adaptOnly {
@@ -161,6 +183,9 @@ func main() {
 	}
 	if *engineOnly || *benchEngine != "" {
 		figures = []figure{{"X12", runX12}}
+	}
+	if *serveOnly || *benchServe != "" {
+		figures = []figure{{"X13", runX13}}
 	}
 
 	fmt.Printf("hetmem reproduction — %s scale\n\n", scale)
@@ -232,6 +257,19 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "[bench snapshot written to %s]\n", *benchEngine)
 	}
+	if *benchServe != "" {
+		if x13 == nil {
+			log.Fatal("-bench-serve needs the X13 figure (pass -serve)")
+		}
+		out, err := json.MarshalIndent(x13.Bench(), "", "  ")
+		if err != nil {
+			log.Fatalf("bench-serve: %v", err)
+		}
+		if err := os.WriteFile(*benchServe, append(out, '\n'), 0o644); err != nil {
+			log.Fatalf("bench-serve: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "[bench snapshot written to %s]\n", *benchServe)
+	}
 	if *traceOut != "" {
 		if x11 == nil || x11.Sample == nil {
 			log.Fatal("-trace needs the X11 figure (drop -skip-ext or pass -replay)")
@@ -249,6 +287,9 @@ func main() {
 	}
 	if x12 != nil && !x12.Cluster.Identical {
 		log.Fatal("X12: serial and parallel cluster runs diverged (see table above)")
+	}
+	if x13 != nil && !x13.Pass() {
+		log.Fatal("X13: budget isolation gate failed (see table above)")
 	}
 }
 

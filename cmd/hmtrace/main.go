@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	hmtrace summary trace.jsonl
+//	hmtrace summary [-session id] trace.jsonl|capture-dir/
 //	hmtrace export [-o out.json] trace.jsonl
 //	hmtrace schedule trace.jsonl
 //	hmtrace diff a.jsonl b.jsonl
@@ -11,7 +11,10 @@
 //	        [-io-threads n] [-prefetch-depth n] [-hbm-reserve bytes] trace.jsonl
 //
 // summary prints the terminal digest: per-lane occupancy, the share of
-// staged time hidden under compute, and the exposed staging time.
+// staged time hidden under compute, and the exposed staging time. Given
+// a directory (hetmemd's -capture-dir), it summarizes every *.jsonl
+// capture in file-name order and closes with a per-tenant aggregate
+// table; -session restricts the report to one hetmemd session id.
 // export converts the capture to Chrome trace_event JSON (load it in a
 // trace viewer: one track per PE plus the IO-thread lanes). schedule
 // prints the canonical per-task schedule used by the replay-fidelity
@@ -32,6 +35,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
+	"sort"
 
 	"github.com/hetmem/hetmem/internal/core"
 	"github.com/hetmem/hetmem/internal/trace"
@@ -45,6 +50,8 @@ const usage = `usage: hmtrace <command> [flags] trace.jsonl
 
 commands:
   summary    print occupancy, overlap and movement counters
+             (a directory summarizes all captures + per-tenant totals;
+             -session id filters hetmemd session traces)
   export     convert to Chrome trace_event JSON (-o file, default stdout)
   schedule   print the canonical per-task schedule
   diff       align two captures task-by-task and name the first divergence
@@ -113,6 +120,7 @@ func onePath(fs *flag.FlagSet, stderr io.Writer) (string, bool) {
 func cmdSummary(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("summary", flag.ContinueOnError)
 	fs.SetOutput(stderr)
+	session := fs.String("session", "", "summarize only the capture with this session id (hetmemd traces)")
 	if fs.Parse(args) != nil {
 		return 1
 	}
@@ -120,12 +128,120 @@ func cmdSummary(args []string, stdout, stderr io.Writer) int {
 	if !ok {
 		return 1
 	}
+	if fi, err := os.Stat(path); err == nil && fi.IsDir() {
+		return summarizeDir(path, *session, stdout, stderr)
+	}
 	c, damaged, ok := load(path, stderr)
 	if !ok {
 		return 2
 	}
+	if *session != "" && sessionOf(c) != *session {
+		fmt.Fprintf(stderr, "hmtrace summary: %s holds session %q, not %q\n", path, sessionOf(c), *session)
+		return 1
+	}
+	printSessionHeader(stdout, c)
 	fmt.Fprint(stdout, trace.Summarize(c).String())
 	return exitCode(damaged)
+}
+
+// sessionOf returns the session id stamped by hetmemd's recorder, or ""
+// for plain kernel-driver captures.
+func sessionOf(c *trace.Capture) string {
+	if m := c.Meta(); m != nil {
+		return m.Session
+	}
+	return ""
+}
+
+// printSessionHeader names the session and tenant when the capture has
+// them (a hetmemd trace); plain captures print nothing extra.
+func printSessionHeader(w io.Writer, c *trace.Capture) {
+	if m := c.Meta(); m != nil && m.Session != "" {
+		fmt.Fprintf(w, "session %s (tenant %s)\n", m.Session, m.Tenant)
+	}
+}
+
+// tenantAgg accumulates per-tenant totals across a capture directory.
+type tenantAgg struct {
+	sessions  int
+	tasks     int64
+	fetches   int64
+	evictions int64
+	exposed   float64
+	makespan  float64
+}
+
+// summarizeDir summarizes every *.jsonl capture in dir (sorted by file
+// name, so hetmemd's <session-id>.jsonl layout reads in session order),
+// optionally filtered to one session id, and closes with a per-tenant
+// aggregate table. Damaged captures are reported and still aggregated
+// from their readable prefix.
+func summarizeDir(dir, session string, stdout, stderr io.Writer) int {
+	paths, err := filepath.Glob(filepath.Join(dir, "*.jsonl"))
+	if err != nil {
+		fmt.Fprintf(stderr, "hmtrace summary: %v\n", err)
+		return 2
+	}
+	sort.Strings(paths)
+	if len(paths) == 0 {
+		fmt.Fprintf(stderr, "hmtrace summary: no *.jsonl captures in %s\n", dir)
+		return 1
+	}
+	agg := map[string]*tenantAgg{}
+	var tenants []string
+	matched, anyDamaged := 0, false
+	for _, p := range paths {
+		c, damaged, ok := load(p, stderr)
+		if !ok {
+			anyDamaged = true
+			continue
+		}
+		if session != "" && sessionOf(c) != session {
+			continue
+		}
+		matched++
+		anyDamaged = anyDamaged || damaged
+		if matched > 1 {
+			fmt.Fprintln(stdout)
+		}
+		fmt.Fprintf(stdout, "== %s\n", filepath.Base(p))
+		printSessionHeader(stdout, c)
+		s := trace.Summarize(c)
+		fmt.Fprint(stdout, s.String())
+
+		tenant := "-"
+		if m := c.Meta(); m != nil && m.Tenant != "" {
+			tenant = m.Tenant
+		}
+		a := agg[tenant]
+		if a == nil {
+			a = &tenantAgg{}
+			agg[tenant] = a
+			tenants = append(tenants, tenant)
+		}
+		a.sessions++
+		a.tasks += s.Tasks
+		a.fetches += s.Fetches
+		a.evictions += s.Evictions
+		a.exposed += float64(s.ExposedStage)
+		a.makespan += float64(s.Makespan)
+	}
+	if matched == 0 {
+		if session != "" {
+			fmt.Fprintf(stderr, "hmtrace summary: no capture in %s holds session %q\n", dir, session)
+		}
+		return 1
+	}
+	sort.Strings(tenants)
+	fmt.Fprintf(stdout, "\nper-tenant totals (%d capture(s)):\n", matched)
+	fmt.Fprintf(stdout, "%-12s %8s %10s %9s %10s %14s %14s\n",
+		"tenant", "sessions", "tasks", "fetches", "evictions", "exposed (s)", "makespan (s)")
+	for _, tn := range tenants {
+		a := agg[tn]
+		fmt.Fprintf(stdout, "%-12s %8d %10d %9d %10d %14.6f %14.6f\n",
+			tn, a.sessions, a.tasks, a.fetches, a.evictions, a.exposed, a.makespan)
+	}
+	return exitCode(anyDamaged)
 }
 
 func cmdExport(args []string, stdout, stderr io.Writer) int {

@@ -163,6 +163,116 @@ func TestEndToEnd(t *testing.T) {
 	})
 }
 
+// sessionCaptureFile records a Small-scale stencil run stamped with a
+// hetmemd-style session id and tenant, writing it to dir/<id>.jsonl.
+func sessionCaptureFile(t *testing.T, dir, id, tenant string) string {
+	t.Helper()
+	opts := core.DefaultOptions(core.MultiIO)
+	opts.HBMReserve = exp.Small.HBMReserve()
+	opts.Metrics = true
+	env := kernels.NewEnv(kernels.EnvConfig{
+		Spec:   exp.Small.Machine(),
+		NumPEs: exp.Small.NumPEs(),
+		Opts:   opts,
+		Params: charm.DefaultParams(),
+	})
+	defer env.Close()
+	rec := trace.NewSessionRecorder(env.MG, id, tenant)
+	rec.Attach()
+	sizes := exp.Small.StencilReducedSizes()
+	app, err := kernels.NewStencil(env.MG, exp.Small.StencilConfig(sizes[0]))
+	if err != nil {
+		t.Fatalf("NewStencil: %v", err)
+	}
+	if _, err := app.Run(); err != nil {
+		t.Fatalf("stencil run: %v", err)
+	}
+	path := filepath.Join(dir, id+".jsonl")
+	if err := rec.Capture().WriteFile(path); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	return path
+}
+
+// TestSummarySessions covers the hetmemd capture-dir workflow: summary
+// over a directory of session traces, the per-tenant aggregate table,
+// and the -session filter on both directories and single files.
+func TestSummarySessions(t *testing.T) {
+	dir := t.TempDir()
+	sessionCaptureFile(t, dir, "s-0001", "acme")
+	sessionCaptureFile(t, dir, "s-0002", "acme")
+	sessionCaptureFile(t, dir, "s-0003", "beta")
+
+	t.Run("directory aggregates per tenant", func(t *testing.T) {
+		code, out, errb := exec("summary", dir)
+		if code != 0 {
+			t.Fatalf("exit %d, want 0\nstderr: %s", code, errb)
+		}
+		for _, want := range []string{
+			"== s-0001.jsonl", "== s-0002.jsonl", "== s-0003.jsonl",
+			"session s-0001 (tenant acme)", "session s-0003 (tenant beta)",
+			"per-tenant totals (3 capture(s)):",
+		} {
+			if !strings.Contains(out, want) {
+				t.Errorf("directory summary missing %q:\n%s", want, out)
+			}
+		}
+		// acme aggregated two sessions, beta one.
+		acme, beta := false, false
+		for _, line := range strings.Split(out, "\n") {
+			f := strings.Fields(line)
+			if len(f) > 1 && f[0] == "acme" {
+				acme = f[1] == "2"
+			}
+			if len(f) > 1 && f[0] == "beta" {
+				beta = f[1] == "1"
+			}
+		}
+		if !acme || !beta {
+			t.Errorf("per-tenant session counts wrong:\n%s", out)
+		}
+	})
+
+	t.Run("session filter on directory", func(t *testing.T) {
+		code, out, errb := exec("summary", "-session", "s-0002", dir)
+		if code != 0 {
+			t.Fatalf("exit %d, want 0\nstderr: %s", code, errb)
+		}
+		if !strings.Contains(out, "== s-0002.jsonl") || strings.Contains(out, "== s-0001.jsonl") {
+			t.Errorf("filter leaked other sessions:\n%s", out)
+		}
+		if !strings.Contains(out, "per-tenant totals (1 capture(s)):") {
+			t.Errorf("filtered aggregate missing:\n%s", out)
+		}
+	})
+
+	t.Run("session filter misses", func(t *testing.T) {
+		code, _, errb := exec("summary", "-session", "nope", dir)
+		if code != 1 {
+			t.Fatalf("exit %d, want 1", code)
+		}
+		if !strings.Contains(errb, `no capture in`) {
+			t.Errorf("stderr: %s", errb)
+		}
+	})
+
+	t.Run("session filter on single file", func(t *testing.T) {
+		path := filepath.Join(dir, "s-0001.jsonl")
+		if code, out, _ := exec("summary", "-session", "s-0001", path); code != 0 || !strings.Contains(out, "tenant acme") {
+			t.Fatalf("exit %d out:\n%s", code, out)
+		}
+		if code, _, errb := exec("summary", "-session", "s-0002", path); code != 1 || !strings.Contains(errb, "holds session") {
+			t.Fatalf("mismatched -session on file: exit %d stderr: %s", code, errb)
+		}
+	})
+
+	t.Run("empty directory", func(t *testing.T) {
+		if code, _, _ := exec("summary", t.TempDir()); code != 1 {
+			t.Fatalf("exit %d, want 1", code)
+		}
+	})
+}
+
 func TestCorruptCapture(t *testing.T) {
 	dir := t.TempDir()
 	path := captureFile(t, dir)

@@ -43,6 +43,7 @@ import (
 	"github.com/hetmem/hetmem/internal/memsim"
 	"github.com/hetmem/hetmem/internal/numa"
 	"github.com/hetmem/hetmem/internal/projections"
+	"github.com/hetmem/hetmem/internal/serve"
 	"github.com/hetmem/hetmem/internal/sim"
 	"github.com/hetmem/hetmem/internal/topology"
 	"github.com/hetmem/hetmem/internal/trace"
@@ -320,3 +321,34 @@ func DefaultMatMulConfig() MatMulConfig { return kernels.DefaultMatMulConfig() }
 func NewMatMul(mg *Manager, cfg MatMulConfig) (*MatMulApp, error) {
 	return kernels.NewMatMul(mg, cfg)
 }
+
+// --- multi-tenant service (hetmemd) ---
+
+type (
+	// ServeConfig parameterises the multi-tenant session scheduler: the
+	// shared machine, per-tenant HBM budgets and the IO lane policy.
+	ServeConfig = serve.Config
+	// ServeTenantConfig pre-registers a tenant with its HBM budget and
+	// fair-share weight.
+	ServeTenantConfig = serve.TenantConfig
+	// ServeWorkloadSpec is one submitted workload: kernel, sizes and
+	// per-session runtime knobs.
+	ServeWorkloadSpec = serve.WorkloadSpec
+	// ServeScheduler is the deterministic multi-session core: admission
+	// control, budget enforcement and weighted-fair lane sharing.
+	ServeScheduler = serve.Scheduler
+	// ServeServer wraps a Scheduler with the HTTP/JSON API and a
+	// virtual-time drive loop.
+	ServeServer = serve.Server
+	// ServeSession is one workload's lifecycle record.
+	ServeSession = serve.Session
+	// ServeStats is the aggregate + per-tenant service snapshot.
+	ServeStats = serve.Stats
+)
+
+// NewServeScheduler builds the multi-session scheduler.
+func NewServeScheduler(cfg ServeConfig) (*ServeScheduler, error) { return serve.NewScheduler(cfg) }
+
+// NewServeServer builds the HTTP service over a fresh scheduler; serve
+// its Handler() and run Loop() in a goroutine.
+func NewServeServer(cfg ServeConfig) (*ServeServer, error) { return serve.NewServer(cfg) }

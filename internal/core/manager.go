@@ -234,6 +234,13 @@ func (m *Manager) ddr() *memsim.Node { return m.mach.DDR() }
 // HBMBudget returns the bytes of HBM available for data blocks.
 func (m *Manager) HBMBudget() int64 { return m.hbm().Cap - m.opts.HBMReserve }
 
+// ReservedBytes returns the HBM capacity currently promised to staging
+// tasks but not yet allocated. At quiescence it must be zero — every
+// reservation consumed or refunded exactly once — which the serve
+// layer checks at session completion even when the full auditor is
+// off.
+func (m *Manager) ReservedBytes() int64 { return m.reserved }
+
 // hbmFits reports whether size more bytes can be placed in HBM without
 // touching the reserve headroom or capacity promised to other staging
 // tasks.

@@ -7,6 +7,8 @@ import (
 
 	"github.com/hetmem/hetmem/internal/cluster"
 	"github.com/hetmem/hetmem/internal/core"
+	"github.com/hetmem/hetmem/internal/kernels"
+	"github.com/hetmem/hetmem/internal/serve"
 	"github.com/hetmem/hetmem/internal/sim"
 )
 
@@ -64,10 +66,27 @@ type X12ClusterLeg struct {
 	Windows         int64
 }
 
-// X12Result holds both legs.
+// X12ServeLeg measures the same 1M-task stress workload pushed through
+// the serve scheduler as a multi-tenant session mix: the tasks are
+// split across sessions on private engines, stepped in lockstep
+// windows with budget accounting and IO-share recomputation between
+// them. RelativeToRaw is serve's tasks/sec over the raw single-engine
+// 1M row — the cost of the multi-tenant machinery on the hot path.
+type X12ServeLeg struct {
+	Sessions      int
+	Tenants       int
+	Tasks         int64
+	WallSec       float64
+	TasksPerSec   float64
+	RelativeToRaw float64
+	Windows       int64
+}
+
+// X12Result holds all three legs.
 type X12Result struct {
 	Scale   Scale
 	Engine  []X12EngineRow
+	Serve   X12ServeLeg
 	Cluster X12ClusterLeg
 }
 
@@ -128,6 +147,115 @@ func x12EngineRun(n int) X12EngineRow {
 	}
 }
 
+// x12StressApp adapts the engine-leg stress workload to the serve App
+// interface: the same 64-lane Schedule+Cancel pattern, running on a
+// session's private engine under the multi-tenant scheduler.
+type x12StressApp struct {
+	eng       *sim.Engine
+	total     int64
+	tasks     int64
+	end       sim.Time
+	guards    []sim.EventHandle
+	remaining []int
+}
+
+func newX12StressApp(eng *sim.Engine, n int) *x12StressApp {
+	const lanes = 64
+	a := &x12StressApp{
+		eng:       eng,
+		guards:    make([]sim.EventHandle, lanes),
+		remaining: make([]int, lanes),
+	}
+	for i := range a.remaining {
+		a.remaining[i] = n / lanes
+		a.total += int64(n / lanes)
+	}
+	return a
+}
+
+func (a *x12StressApp) Start() {
+	const period = 1e-6
+	const guardDelay = 1e3
+	var step func(lane int)
+	step = func(lane int) {
+		a.guards[lane].Cancel()
+		a.tasks++
+		a.remaining[lane]--
+		if a.tasks >= a.total {
+			a.end = a.eng.Now()
+		}
+		if a.remaining[lane] > 0 {
+			lane := lane
+			a.eng.After(period, func() { step(lane) })
+		}
+		a.guards[lane] = a.eng.After(guardDelay, func() {})
+	}
+	for i := range a.remaining {
+		lane := i
+		a.eng.After(period, func() { step(lane) })
+	}
+}
+
+func (a *x12StressApp) Done() bool           { return a.total > 0 && a.tasks >= a.total }
+func (a *x12StressApp) FinishedAt() sim.Time { return a.end }
+
+// x12ServeRun pushes the 1M-task point through the serve scheduler as
+// 8 sessions across 4 tenants and measures wall-clock throughput.
+func x12ServeRun(s Scale, raw *X12EngineRow) (X12ServeLeg, error) {
+	const nSessions = 8
+	const nTenants = 4
+	leg := X12ServeLeg{Sessions: nSessions, Tenants: nTenants}
+	perSession := 1_000_000 / nSessions
+
+	sched, err := serve.NewScheduler(serve.Config{
+		Spec:    s.Machine(),
+		NumPEs:  s.NumPEs(),
+		Reserve: s.HBMReserve(),
+		Fair:    true,
+	})
+	if err != nil {
+		return leg, err
+	}
+	sched.RegisterKernel("stress", func(env *kernels.Env, spec serve.WorkloadSpec) (serve.App, error) {
+		return newX12StressApp(env.Eng, perSession), nil
+	})
+
+	start := time.Now() //hmlint:ignore determinism X12 measures host wall-clock by design
+	for i := 0; i < nSessions; i++ {
+		sess, err := sched.Submit(serve.WorkloadSpec{
+			Tenant:    fmt.Sprintf("t%d", i%nTenants),
+			Kernel:    "stress",
+			Bytes:     32 << 20,
+			Reduced:   8 << 20,
+			Footprint: 16 << 20,
+		})
+		if err != nil {
+			return leg, fmt.Errorf("stress session %d: %w", i, err)
+		}
+		if sess.State != serve.Running {
+			return leg, fmt.Errorf("stress session %d queued; budgets must admit all %d", i, nSessions)
+		}
+	}
+	if err := sched.RunUntilIdle(0); err != nil {
+		return leg, err
+	}
+	leg.WallSec = time.Since(start).Seconds() //hmlint:ignore determinism X12 measures host wall-clock by design
+
+	for _, sess := range sched.Sessions() {
+		if sess.State != serve.Done {
+			return leg, fmt.Errorf("stress session %s ended %s: %s", sess.ID, sess.State, sess.Err)
+		}
+	}
+	// Each session runs lanes*(perSession/lanes) tasks (64 lanes).
+	leg.Tasks = int64(nSessions * (perSession / 64) * 64)
+	leg.TasksPerSec = float64(leg.Tasks) / leg.WallSec
+	if raw != nil && raw.TasksPerSec > 0 {
+		leg.RelativeToRaw = leg.TasksPerSec / raw.TasksPerSec
+	}
+	leg.Windows = sched.StatsSnapshot().Windows
+	return leg, nil
+}
+
 // x12ClusterRun executes the X8 stencil on a parallel cluster and
 // returns its signature, result and wall time.
 func x12ClusterRun(s Scale, nodes int, parallel bool) (string, *cluster.StencilResult, *cluster.PCluster, float64, error) {
@@ -166,6 +294,12 @@ func RunX12(s Scale) (*X12Result, error) {
 	for _, n := range x12TaskCounts {
 		res.Engine = append(res.Engine, x12EngineRun(n))
 	}
+
+	serveLeg, err := x12ServeRun(s, res.row1M())
+	if err != nil {
+		return nil, fmt.Errorf("exp: x12 serve leg: %w", err)
+	}
+	res.Serve = serveLeg
 
 	nodes := 8
 	if s == Full {
@@ -232,6 +366,8 @@ func (r *X12Result) Table() Table {
 			"workload: 64 lanes, one work event + one cancelled guard timeout per task",
 			fmt.Sprintf("recorded pre-overhaul baseline: %.0f tasks/sec at 1M; current speedup %.1fx",
 				X12BaselineTasksPerSec, r.Speedup()),
+			fmt.Sprintf("serve leg: same 1M tasks as %d sessions / %d tenants through the multi-tenant scheduler: %.0f tasks/sec (%.2fx raw engine, %d windows)",
+				r.Serve.Sessions, r.Serve.Tenants, r.Serve.TasksPerSec, r.Serve.RelativeToRaw, r.Serve.Windows),
 			fmt.Sprintf("cluster leg: %d-node stencil, serial %.3fs vs goroutine-parallel %.3fs windows: %s",
 				r.Cluster.Nodes, r.Cluster.SerialWallSec, r.Cluster.ParallelWallSec, verdict),
 			fmt.Sprintf("  %d windows, %d fabric messages, virtual makespan %s s",
@@ -278,12 +414,24 @@ type X12ClusterBench struct {
 	Windows         int64   `json:"windows"`
 }
 
+// X12ServeBench is the serve leg in BENCH_engine.json.
+type X12ServeBench struct {
+	Sessions      int     `json:"sessions"`
+	Tenants       int     `json:"tenants"`
+	Tasks         int64   `json:"tasks"`
+	WallSec       float64 `json:"wall_s"`
+	TasksPerSec   float64 `json:"tasks_per_sec"`
+	RelativeToRaw float64 `json:"relative_to_raw_engine"`
+	Windows       int64   `json:"windows"`
+}
+
 // X12Bench is the JSON snapshot written by hmrepro -bench-engine.
 type X12Bench struct {
 	Scale             string              `json:"scale"`
 	Engine            []X12EngineBenchRow `json:"engine"`
 	BaselineTasksPerS float64             `json:"baseline_1m_tasks_per_sec"`
 	SpeedupVsBaseline float64             `json:"speedup_1m_vs_baseline"`
+	Serve             X12ServeBench       `json:"serve"`
 	Cluster           X12ClusterBench     `json:"cluster"`
 }
 
@@ -293,6 +441,15 @@ func (r *X12Result) Bench() X12Bench {
 		Scale:             r.Scale.String(),
 		BaselineTasksPerS: X12BaselineTasksPerSec,
 		SpeedupVsBaseline: r.Speedup(),
+		Serve: X12ServeBench{
+			Sessions:      r.Serve.Sessions,
+			Tenants:       r.Serve.Tenants,
+			Tasks:         r.Serve.Tasks,
+			WallSec:       r.Serve.WallSec,
+			TasksPerSec:   r.Serve.TasksPerSec,
+			RelativeToRaw: r.Serve.RelativeToRaw,
+			Windows:       r.Serve.Windows,
+		},
 		Cluster: X12ClusterBench{
 			Nodes:           r.Cluster.Nodes,
 			SerialWallSec:   r.Cluster.SerialWallSec,

@@ -284,16 +284,24 @@ func (app *MatMulApp) seedCount() int {
 	return seed
 }
 
-// Run seeds Pipeline chares per PE (the rest chain depth-first) and
-// drives the engine to completion, returning the multiply's wall time.
-func (app *MatMulApp) Run() (sim.Time, error) {
+// Start seeds Pipeline chares per PE (the rest chain depth-first)
+// without driving the engine, for callers that schedule the engine
+// themselves (the serve session scheduler).
+func (app *MatMulApp) Start() {
 	rt := app.mg.Runtime()
-	start := rt.Engine().Now()
 	rt.Main(func(p *sim.Proc) {
 		for i := 0; i < app.seedCount(); i++ {
 			app.arr.Send(-1, i, app.dgemm, 0)
 		}
 	})
+}
+
+// Run seeds the pipeline and drives the engine to completion,
+// returning the multiply's wall time.
+func (app *MatMulApp) Run() (sim.Time, error) {
+	rt := app.mg.Runtime()
+	start := rt.Engine().Now()
+	app.Start()
 	rt.Engine().RunAll()
 	if !app.done {
 		return 0, fmt.Errorf("kernels: matmul deadlocked (blocked: %v)", rt.Engine().BlockedProcNames())

@@ -1,0 +1,64 @@
+package serve
+
+// laneEntity is one claimant in a lane distribution round: a tenant
+// under fair sharing, a session when fairness is off.
+type laneEntity struct {
+	key    string
+	weight int
+}
+
+// wrr distributes integer IO lanes with the smooth weighted
+// round-robin discipline. Per-entity credit persists across windows so
+// fractional shares average out to the weight ratio over time, and the
+// whole walk is driven by caller-ordered slices — no map iteration, so
+// the assignment is deterministic.
+type wrr struct {
+	credit map[string]int
+}
+
+func newWRR() *wrr { return &wrr{credit: make(map[string]int)} }
+
+// assign hands out lanes to the entities (in the caller's order):
+// every entity gets a floor of one lane — a zero-lane window would
+// stall that claimant's in-flight staging indefinitely, since a
+// migration's rate is read once at flow start — and the remaining
+// lanes (if any) go one at a time to the highest-credit entity,
+// smooth-WRR style. The returned counts align with ents; total is the
+// divisor for bandwidth shares (max(lanes, len(ents)) when the floor
+// oversubscribes the fabric).
+func (w *wrr) assign(ents []laneEntity, lanes int) (counts []int, total int) {
+	n := len(ents)
+	if n == 0 {
+		return nil, 0
+	}
+	counts = make([]int, n)
+	total = lanes
+	if total < n {
+		total = n
+	}
+	sumW := 0
+	for i, e := range ents {
+		counts[i] = 1
+		if e.weight <= 0 {
+			e.weight = 1
+			ents[i] = e
+		}
+		sumW += e.weight
+	}
+	for extra := lanes - n; extra > 0; extra-- {
+		best := 0
+		for i, e := range ents {
+			w.credit[e.key] += e.weight
+			if w.credit[e.key] > w.credit[ents[best].key] {
+				best = i
+			}
+		}
+		w.credit[ents[best].key] -= sumW
+		counts[best]++
+	}
+	return counts, total
+}
+
+// forget drops the credit state of an entity that left the system so
+// the map does not grow with session churn.
+func (w *wrr) forget(key string) { delete(w.credit, key) }

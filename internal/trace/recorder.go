@@ -47,6 +47,14 @@ type runRef struct {
 // NewRecorder builds a recorder for mg and emits the meta event. Call
 // Attach before the run starts.
 func NewRecorder(mg *core.Manager) *Recorder {
+	return NewSessionRecorder(mg, "", "")
+}
+
+// NewSessionRecorder is NewRecorder with the serve-layer session and
+// tenant identity stamped into the meta event, so captures pulled out
+// of a multi-session directory remain attributable. Empty labels
+// produce a meta event identical to NewRecorder's.
+func NewSessionRecorder(mg *core.Manager, session, tenant string) *Recorder {
 	rt := mg.Runtime()
 	r := &Recorder{
 		mg:  mg,
@@ -58,6 +66,8 @@ func NewRecorder(mg *core.Manager) *Recorder {
 		Version: Version,
 		NumPEs:  rt.NumPEs(),
 		Seed:    r.eng.Seed(),
+		Session: session,
+		Tenant:  tenant,
 		Knobs:   KnobsOf(mg.Options()),
 		Params:  rt.Params(),
 		Spec:    rt.Machine().Spec,

@@ -26,7 +26,8 @@ func allKinds() *trace.Capture {
 	}
 	events := []trace.Event{
 		&trace.Meta{Version: trace.Version, NumPEs: 8, Seed: 42, Knobs: knobs,
-			Params: charm.DefaultParams(), Spec: exp.Small.Machine()},
+			Params: charm.DefaultParams(), Spec: exp.Small.Machine(),
+			Session: "sess-0042", Tenant: "acme"},
 		&trace.HandleDecl{Block: "A0", Bytes: 1 << 28, Node: "INDDR"},
 		&trace.Send{ID: 7, Arr: "stencil3d", Idx: 3, Entry: "compute_kernel",
 			PE: 1, From: 0, Prefetch: true,
@@ -141,6 +142,10 @@ func TestRoundTripAllKinds(t *testing.T) {
 		if !seen[k] {
 			t.Errorf("capture is missing event kind %q", k)
 		}
+	}
+	// hetmemd's session identity survives the round trip.
+	if m := dec.Meta(); m == nil || m.Session != "sess-0042" || m.Tenant != "acme" {
+		t.Errorf("decoded meta lost session identity: %+v", dec.Meta())
 	}
 }
 

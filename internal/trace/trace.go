@@ -116,12 +116,17 @@ func (k Knobs) Options() (core.Options, error) {
 }
 
 // Meta is the first event of every capture: everything needed to
-// rebuild the machine and runtime for replay.
+// rebuild the machine and runtime for replay. Session and Tenant are
+// set only on captures recorded by the multi-tenant service (hetmemd);
+// both are omitted from single-workload captures, which therefore stay
+// byte-identical to pre-service recorders.
 type Meta struct {
 	Ev
 	Version int                  `json:"version"`
 	NumPEs  int                  `json:"num_pes"`
 	Seed    int64                `json:"seed"`
+	Session string               `json:"session,omitempty"`
+	Tenant  string               `json:"tenant,omitempty"`
 	Knobs   Knobs                `json:"knobs"`
 	Params  charm.Params         `json:"params"`
 	Spec    topology.MachineSpec `json:"spec"`
