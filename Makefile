@@ -3,7 +3,7 @@ GO ?= go
 # gate does not drift with upstream.
 STATICCHECK_VERSION ?= 2024.1.1
 
-.PHONY: ci vet build test race audit lint hmlint staticcheck bench bench-adapt bench-evict bench-trace bench-engine bench-serve
+.PHONY: ci vet build test race audit lint hmlint staticcheck bench bench-adapt bench-evict bench-trace bench-engine bench-serve bench-tiers
 
 # ci is the gate: static checks (vet + hmlint + staticcheck), build,
 # race-enabled tests, and the audit-enabled figure sweep (every
@@ -85,3 +85,12 @@ bench-engine:
 # and a failed isolation gate exits nonzero.
 bench-serve:
 	$(GO) run ./cmd/hmrepro -serve -bench-serve BENCH_serve.json
+
+# bench-tiers regenerates the committed memory-chain depth snapshot
+# from the full-scale X14 sweep: the Fig 8 stencil and Fig 9 matmul
+# overflow points on 2-/3-/4-tier chains (+NVM, +remote pool) under
+# the DeclOrder and Lookahead victim policies. Fully virtual-time: two
+# consecutive runs are byte-identical, and a failed widening-advantage
+# gate exits nonzero.
+bench-tiers:
+	$(GO) run ./cmd/hmrepro -tiers -bench-tiers BENCH_tiers.json

@@ -8,6 +8,7 @@
 //	hmmatmul -mode multi -total 24 -audit     # with invariant audit + JSON metrics
 //	hmmatmul -mode multi -total 24 -adapt     # adaptive run with convergence trace
 //	hmmatmul -mode multi -trace out.jsonl     # record the run for hmtrace
+//	hmmatmul -mode multi -tiers 3             # run on a 3-tier HBM/DDR4/NVM chain
 package main
 
 import (
@@ -35,6 +36,7 @@ func main() {
 	adaptOn := flag.Bool("adapt", false, "attach the online adaptive controller and print its convergence trace")
 	policyName := flag.String("evict-policy", "", "eviction victim policy for movement modes: decl, lru or lookahead")
 	traceOut := flag.String("trace", "", "record the single run as a JSONL capture to this file (inspect with hmtrace)")
+	tiers := flag.Int("tiers", 2, "memory chain depth for the single run: 2 (HBM/DDR4), 3 (+NVM) or 4 (+remote pool)")
 	flag.Parse()
 
 	scale := exp.Full
@@ -73,8 +75,12 @@ func main() {
 	if pol != nil && mode.Moves() {
 		opts.EvictPolicy = pol
 	}
+	spec, err := exp.Full.TieredMachine(*tiers)
+	if err != nil {
+		log.Fatal(err)
+	}
 	env := kernels.NewEnv(kernels.EnvConfig{
-		Spec:   exp.Full.Machine(),
+		Spec:   spec,
 		NumPEs: cfg.NumPEs,
 		Opts:   opts,
 		Trace:  *adaptOn,

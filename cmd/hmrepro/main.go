@@ -9,6 +9,7 @@
 //	        [-replay] [-bench-trace file] [-trace file]
 //	        [-engine] [-bench-engine file]
 //	        [-serve] [-bench-serve file]
+//	        [-tiers] [-bench-tiers file]
 //
 // With -audit every simulated run carries the invariant auditor from
 // internal/audit: conservation laws are checked continuously, the
@@ -47,6 +48,14 @@
 // -bench-serve writes its JSON snapshot (implies -serve); whenever X13
 // runs, a failed isolation gate (Pass() false) makes the command exit
 // nonzero.
+//
+// -tiers runs only X14, the memory-chain depth sweep: the Fig 8 and
+// Fig 9 overflow points on 2-, 3- and 4-tier machines (+NVM, +remote
+// pool) under the DeclOrder and Lookahead victim policies. X14 is
+// fully virtual-time and deterministic, so it is part of the default
+// extension sweep. -bench-tiers writes its JSON snapshot (implies
+// -tiers); whenever X14 runs, a failed widening-advantage gate
+// (Pass() error) makes the command exit nonzero.
 package main
 
 import (
@@ -79,6 +88,8 @@ func main() {
 	benchEngine := flag.String("bench-engine", "", "write the X12 result to this file as a JSON benchmark snapshot (implies -engine)")
 	serveOnly := flag.Bool("serve", false, "run only X13: multi-tenant service arrivals + budget isolation")
 	benchServe := flag.String("bench-serve", "", "write the X13 result to this file as a JSON benchmark snapshot (implies -serve)")
+	tiersOnly := flag.Bool("tiers", false, "run only X14: victim policies across 2-/3-/4-tier memory chains")
+	benchTiers := flag.String("bench-tiers", "", "write the X14 result to this file as a JSON benchmark snapshot (implies -tiers)")
 	flag.Parse()
 
 	scale, err := parseScale(*scaleName)
@@ -144,6 +155,16 @@ func main() {
 		return r.Table(), nil
 	}
 
+	var x14 *exp.X14Result
+	runX14 := func() (fmt.Stringer, error) {
+		r, err := exp.RunX14(scale)
+		if err != nil {
+			return nil, err
+		}
+		x14 = r
+		return r.Table(), nil
+	}
+
 	type figure struct {
 		name string
 		run  func() (fmt.Stringer, error)
@@ -170,6 +191,7 @@ func main() {
 			figure{"X10", runX10},
 			figure{"X11", runX11},
 			figure{"X13", runX13},
+			figure{"X14", runX14},
 		)
 	}
 	if *adaptOnly {
@@ -186,6 +208,9 @@ func main() {
 	}
 	if *serveOnly || *benchServe != "" {
 		figures = []figure{{"X13", runX13}}
+	}
+	if *tiersOnly || *benchTiers != "" {
+		figures = []figure{{"X14", runX14}}
 	}
 
 	fmt.Printf("hetmem reproduction — %s scale\n\n", scale)
@@ -270,6 +295,19 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "[bench snapshot written to %s]\n", *benchServe)
 	}
+	if *benchTiers != "" {
+		if x14 == nil {
+			log.Fatal("-bench-tiers needs the X14 figure (pass -tiers)")
+		}
+		out, err := json.MarshalIndent(x14.Bench(), "", "  ")
+		if err != nil {
+			log.Fatalf("bench-tiers: %v", err)
+		}
+		if err := os.WriteFile(*benchTiers, append(out, '\n'), 0o644); err != nil {
+			log.Fatalf("bench-tiers: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "[bench snapshot written to %s]\n", *benchTiers)
+	}
 	if *traceOut != "" {
 		if x11 == nil || x11.Sample == nil {
 			log.Fatal("-trace needs the X11 figure (drop -skip-ext or pass -replay)")
@@ -290,6 +328,11 @@ func main() {
 	}
 	if x13 != nil && !x13.Pass() {
 		log.Fatal("X13: budget isolation gate failed (see table above)")
+	}
+	if x14 != nil {
+		if err := x14.Pass(); err != nil {
+			log.Fatalf("X14: widening-advantage gate failed: %v", err)
+		}
 	}
 }
 

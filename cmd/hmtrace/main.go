@@ -27,10 +27,13 @@
 //
 // Exit status: 0 on success; 2 when the capture is corrupt or
 // truncated — the readable prefix is still processed and reported
-// before exiting. diff exits 1 when the captures differ.
+// before exiting — or when whatif refuses a capture whose recorded
+// memory tier chain does not match the machine its spec rebuilds.
+// diff exits 1 when the captures differ.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -395,6 +398,11 @@ func cmdWhatIf(args []string, stdout, stderr io.Writer) int {
 	res, err := w.Replay(trace.ReplayConfig{Knobs: &knobs})
 	if err != nil {
 		fmt.Fprintf(stderr, "hmtrace whatif: replay: %v\n", err)
+		if errors.Is(err, trace.ErrTierMismatch) {
+			// The capture is internally inconsistent with its own
+			// spec — same class as a damaged capture.
+			return 2
+		}
 		return 1
 	}
 	printComparison(stdout,

@@ -77,6 +77,11 @@ type (
 	ClusterMode = topology.ClusterMode
 	// MemNode is one memory node (capacity + bandwidth).
 	MemNode = memsim.Node
+	// NodeKind classifies a memory node (HBM, DDR, NVM, Remote).
+	NodeKind = memsim.NodeKind
+	// TierSpec describes one extra memory tier appended below DDR in a
+	// MachineSpec's chain.
+	TierSpec = topology.TierSpec
 	// Allocator is the libnuma-like allocation API.
 	Allocator = numa.Allocator
 	// Buffer is an allocated region.
@@ -100,12 +105,24 @@ const (
 	HBMNodeID = topology.HBMNodeID
 )
 
+// Memory node kinds, ordered near to far along the tier chain.
+const (
+	KindHBM    = memsim.HBM
+	KindDDR    = memsim.DDR
+	KindNVM    = memsim.NVM
+	KindRemote = memsim.Remote
+)
+
 // GB is one gibibyte in bytes.
 const GB = topology.GB
 
 // KNL7250 returns the machine used in the paper's evaluation: an Intel
 // Xeon Phi Knights Landing node in Flat / All-to-All mode.
 func KNL7250() MachineSpec { return topology.KNL7250() }
+
+// TieredKNL returns the KNL preset extended to an n-tier memory chain
+// (2 = the paper's machine, 3 adds NVM, 4 adds a remote/CXL pool).
+func TieredKNL(depth int) (MachineSpec, error) { return topology.TieredKNL(depth) }
 
 // --- Charm-like runtime ---
 

@@ -53,6 +53,13 @@ type Config struct {
 	// MaxViolations caps the stored violation list (default 64); the
 	// total count keeps incrementing past the cap.
 	MaxViolations int
+	// NearTier is the name of the near memory node (the tier every
+	// fetch ends on and every evict leaves). When set, CheckQuiescent
+	// cross-checks the per-edge byte attribution against the aggregate
+	// fetch/evict totals: each moved byte must land on exactly one
+	// edge, so a one-level demotion cannot also be counted against the
+	// bottom tier.
+	NearTier string
 }
 
 // Violation is one detected invariant breach, stamped with the virtual
@@ -172,16 +179,21 @@ type Snapshot struct {
 	// PolicyStats splits eviction activity by the victim-selection
 	// policy active when it happened. encoding/json renders map keys
 	// sorted, so snapshots stay byte-deterministic.
-	PolicyStats    map[string]PolicyCounters `json:"evict_policy_stats,omitempty"`
-	TasksStaged    int64                     `json:"tasks_staged"`
-	TasksInline    int64                     `json:"tasks_inline"`
-	QueueDepthPeak []int                     `json:"queue_depth_peak"`
-	InflightPeak   []int                     `json:"inflight_peak"`
-	FetchHist      Histogram                 `json:"fetch_hist"`
-	EvictHist      Histogram                 `json:"evict_hist"`
-	ViolationCount int64                     `json:"violation_count"`
-	Violations     []Violation               `json:"violations,omitempty"`
-	Stall          *StallReport              `json:"stall,omitempty"`
+	PolicyStats map[string]PolicyCounters `json:"evict_policy_stats,omitempty"`
+	// TierEdges attributes moved bytes to the directed tier edge they
+	// crossed, keyed "SRC->DST" by memory node name. Empty on runs
+	// recorded before per-edge accounting (and in snapshots of
+	// movement-free modes), keeping older fixtures byte-identical.
+	TierEdges      map[string]int64 `json:"tier_edges,omitempty"`
+	TasksStaged    int64            `json:"tasks_staged"`
+	TasksInline    int64            `json:"tasks_inline"`
+	QueueDepthPeak []int            `json:"queue_depth_peak"`
+	InflightPeak   []int            `json:"inflight_peak"`
+	FetchHist      Histogram        `json:"fetch_hist"`
+	EvictHist      Histogram        `json:"evict_hist"`
+	ViolationCount int64            `json:"violation_count"`
+	Violations     []Violation      `json:"violations,omitempty"`
+	Stall          *StallReport     `json:"stall,omitempty"`
 }
 
 // Auditor tracks the shadow ledger and the invariants for one manager.
@@ -396,6 +408,49 @@ func (a *Auditor) CheckQuiescent() {
 	}
 	if a.pendingUses != 0 {
 		a.Violate("quiescence-pending", "pending-use balance %d at quiescence, want 0", a.pendingUses)
+	}
+	a.checkEdgeConservation()
+}
+
+// checkEdgeConservation verifies the per-edge byte attribution against
+// the aggregate counters: every fetched byte crossed exactly one edge
+// into the near tier, every evicted byte exactly one edge out of it,
+// and no edge bypasses the near tier (managed blocks only ever move to
+// or from HBM). Before per-edge accounting, a one-level demotion would
+// have been indistinguishable from a full drop to the bottom tier and
+// the HBM↔far totals double-counted it; these sums pin the attribution
+// down.
+func (a *Auditor) checkEdgeConservation() {
+	m := a.cfg.Metrics
+	if a.cfg.NearTier == "" || m == nil {
+		return
+	}
+	var in, out int64
+	for i := range m.edges {
+		key, n := m.edges[i].key, m.edges[i].bytes
+		src, dst, ok := strings.Cut(key, "->")
+		if !ok {
+			a.Violate("edge-key", "malformed tier edge key %q", key)
+			continue
+		}
+		switch a.cfg.NearTier {
+		case dst:
+			in += n
+		case src:
+			out += n
+		default:
+			a.Violate("edge-bypass", "tier edge %s (%d bytes) bypasses near tier %s", key, n, a.cfg.NearTier)
+		}
+	}
+	if in != m.bytesFetched {
+		a.Violate("edge-fetch-conservation",
+			"edges into %s carry %d bytes but %d were fetched — bytes counted on no or multiple edges",
+			a.cfg.NearTier, in, m.bytesFetched)
+	}
+	if out != m.bytesEvicted {
+		a.Violate("edge-evict-conservation",
+			"edges out of %s carry %d bytes but %d were evicted — bytes counted on no or multiple edges",
+			a.cfg.NearTier, out, m.bytesEvicted)
 	}
 }
 

@@ -62,12 +62,23 @@ type Metrics struct {
 	// last-hit memo beats a map lookup per eviction event.
 	policy     []policyEntry
 	lastPolicy int
+	// edges attributes moved bytes to the directed tier edge they
+	// crossed ("SRC->DST" by node name) — same first-use-order slice
+	// scheme as policy: a chain of t tiers has at most 2(t-1) edges.
+	edges    []edgeEntry
+	lastEdge int
 }
 
 // policyEntry pairs a policy name with its counters in first-use order.
 type policyEntry struct {
 	name string
 	pc   PolicyCounters
+}
+
+// edgeEntry pairs a directed tier edge with its byte count.
+type edgeEntry struct {
+	key   string
+	bytes int64
 }
 
 // NewMetrics builds a metrics collector tracking queue-depth and
@@ -163,6 +174,43 @@ func (m *Metrics) PolicyCountersFor(name string) PolicyCounters {
 	return PolicyCounters{}
 }
 
+// EdgeMove attributes n moved bytes to the directed tier edge from src
+// to dst (memory node names). Each moved byte lands on exactly one
+// edge, so the sums over edges into and out of the near tier equal
+// BytesFetched and BytesEvicted; CheckQuiescent verifies that.
+func (m *Metrics) EdgeMove(src, dst string, n int64) {
+	if m == nil {
+		return
+	}
+	key := src + "->" + dst
+	if m.lastEdge < len(m.edges) && m.edges[m.lastEdge].key == key {
+		m.edges[m.lastEdge].bytes += n
+		return
+	}
+	for i := range m.edges {
+		if m.edges[i].key == key {
+			m.lastEdge = i
+			m.edges[i].bytes += n
+			return
+		}
+	}
+	m.edges = append(m.edges, edgeEntry{key: key, bytes: n})
+	m.lastEdge = len(m.edges) - 1
+}
+
+// EdgeBytes returns the byte count attributed to the src→dst edge.
+func (m *Metrics) EdgeBytes(src, dst string) int64 {
+	if m == nil {
+		return 0
+	}
+	for i := range m.edges {
+		if m.edges[i].key == src+"->"+dst {
+			return m.edges[i].bytes
+		}
+	}
+	return 0
+}
+
 // StageRetry records a staging attempt aborted for lack of capacity.
 func (m *Metrics) StageRetry() {
 	if m == nil {
@@ -254,6 +302,12 @@ func (m *Metrics) fill(s *Snapshot) {
 		s.PolicyStats = make(map[string]PolicyCounters, len(m.policy))
 		for i := range m.policy {
 			s.PolicyStats[m.policy[i].name] = m.policy[i].pc
+		}
+	}
+	if len(m.edges) > 0 {
+		s.TierEdges = make(map[string]int64, len(m.edges))
+		for i := range m.edges {
+			s.TierEdges[m.edges[i].key] = m.edges[i].bytes
 		}
 	}
 	s.QueueDepthPeak = append([]int(nil), m.queueDepthPeak...)

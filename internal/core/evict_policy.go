@@ -26,6 +26,34 @@ type EvictPolicy interface {
 	// Rank orders cands best-victim-first. cands arrives in
 	// declaration order and may be reordered in place.
 	Rank(v PolicyView, cands []*Handle) []*Handle
+	// DemoteTarget picks the tier a victim moves to on chains deeper
+	// than two: the bottom of the chain, or the tier just below HBM.
+	// On a two-tier machine the two coincide, so every policy behaves
+	// identically there.
+	DemoteTarget() DemoteTarget
+}
+
+// DemoteTarget is an EvictPolicy's landing tier for evictions.
+type DemoteTarget int
+
+const (
+	// DemoteBottom sends victims to the deepest tier — the paper's
+	// "back to far memory" rule, and the cheapest write when the
+	// victim is truly dead.
+	DemoteBottom DemoteTarget = iota
+	// DemoteNext sends victims one level below HBM, so a block that
+	// returns pays the cheapest possible miss. Used by Lookahead,
+	// which has the dependence information to know most of its
+	// victims return.
+	DemoteNext
+)
+
+// String names the target for tables and snapshots.
+func (t DemoteTarget) String() string {
+	if t == DemoteNext {
+		return "next"
+	}
+	return "bottom"
 }
 
 // NoNextUse is the lookahead distance of a block no enqueued task
@@ -83,6 +111,10 @@ type declOrder struct{}
 
 func (declOrder) Name() string { return "decl" }
 
+// Declaration order knows nothing about reuse, so victims drop all the
+// way down (the original runtime's rule).
+func (declOrder) DemoteTarget() DemoteTarget { return DemoteBottom }
+
 func (declOrder) Rank(v PolicyView, cands []*Handle) []*Handle {
 	// Stable partition: truly-dead blocks first, pending-use blocks
 	// last, declaration order within each class (cands arrives in
@@ -97,6 +129,9 @@ type lru struct{}
 
 func (lru) Name() string { return "lru" }
 
+// Recency says a cold block stays cold; demote fully.
+func (lru) DemoteTarget() DemoteTarget { return DemoteBottom }
+
 func (lru) Rank(v PolicyView, cands []*Handle) []*Handle {
 	// Oldest last use first; declaration order breaks ties (blocks
 	// never used complete with lastUse zero and go first).
@@ -109,6 +144,12 @@ func (lru) Rank(v PolicyView, cands []*Handle) []*Handle {
 type lookahead struct{}
 
 func (lookahead) Name() string { return "lookahead" }
+
+// Lookahead evicts exactly the blocks whose next use is farthest — but
+// in the cyclic programs this runtime hosts they do come back, so it
+// parks victims one tier down where the refetch edge is cheapest. The
+// advantage over full demotion grows with every tier the chain adds.
+func (lookahead) DemoteTarget() DemoteTarget { return DemoteNext }
 
 func (lookahead) Rank(v PolicyView, cands []*Handle) []*Handle {
 	// Farthest next declared use first. Distances are resolved once

@@ -1,11 +1,13 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
 	"github.com/hetmem/hetmem/internal/audit"
 	"github.com/hetmem/hetmem/internal/charm"
 	"github.com/hetmem/hetmem/internal/memsim"
+	"github.com/hetmem/hetmem/internal/numa"
 	"github.com/hetmem/hetmem/internal/projections"
 	"github.com/hetmem/hetmem/internal/sim"
 	"github.com/hetmem/hetmem/internal/topology"
@@ -113,6 +115,12 @@ type Manager struct {
 	opts  Options
 	strat strategy
 
+	// tiers is the machine's memory chain cached near-to-far: tiers[0]
+	// is HBM, tiers[len-1] the capacity backstop blocks are born on.
+	// Resolved by kind rank, never by node ID, so spec order cannot
+	// swap near and far memory.
+	tiers []*memsim.Node
+
 	handles []*Handle
 
 	// dist/distSeen are epoch-stamped scratch slices for
@@ -163,6 +171,14 @@ type Manager struct {
 		// ForcedEvictions counts evictions of blocks that a queued
 		// task still needed (capacity pressure overrode affinity).
 		ForcedEvictions int64
+		// EdgeBytes attributes moved bytes to the directed tier edge
+		// they actually crossed, keyed "SRC->DST" by node name. Fetch
+		// edges end at the near tier, evict edges leave it; on a
+		// two-tier machine the map holds exactly the classic
+		// DDR4->MCDRAM / MCDRAM->DDR4 pair. BytesFetched/BytesEvicted
+		// above remain the HBM-side aggregates (each byte counted on
+		// exactly one edge, so the per-direction edge sums equal them).
+		EdgeBytes map[string]int64
 	}
 }
 
@@ -173,14 +189,16 @@ func NewManager(rt *charm.Runtime, opts Options) *Manager {
 		panic(err.Error())
 	}
 	m := &Manager{rt: rt, mach: rt.Machine(), opts: opts}
+	m.tiers = m.mach.Chain()
 	if opts.Audit || opts.Metrics {
 		m.met = audit.NewMetrics(rt.Engine(), rt.NumPEs())
 	}
 	if opts.Audit {
 		m.aud = audit.New(rt.Engine(), audit.Config{
-			Budget:  m.HBMBudget(),
-			Queues:  rt.NumPEs(),
-			Metrics: m.met,
+			Budget:   m.HBMBudget(),
+			Queues:   rt.NumPEs(),
+			Metrics:  m.met,
+			NearTier: m.hbm().Name,
 			Probe: func() audit.Probe {
 				return audit.Probe{HBMUsed: m.hbm().Used(), Reserved: m.reserved}
 			},
@@ -227,9 +245,33 @@ func (m *Manager) Mode() Mode { return m.opts.Mode }
 // Options returns the manager's configuration.
 func (m *Manager) Options() Options { return m.opts }
 
-// hbm and ddr are the machine's memory nodes.
-func (m *Manager) hbm() *memsim.Node { return m.mach.HBM() }
-func (m *Manager) ddr() *memsim.Node { return m.mach.DDR() }
+// hbm is the near end of the tier chain; bottom the far end, where
+// blocks are born and full demotions land. On the paper's machine the
+// two-entry chain makes bottom the DDR4 node.
+func (m *Manager) hbm() *memsim.Node    { return m.tiers[0] }
+func (m *Manager) bottom() *memsim.Node { return m.tiers[len(m.tiers)-1] }
+
+// tierOf returns the chain index of the node currently holding h's
+// buffer (managed buffers always live on a single node).
+func (m *Manager) tierOf(h *Handle) int {
+	node := h.buf.Parts()[0].Node
+	for i, t := range m.tiers {
+		if t == node {
+			return i
+		}
+	}
+	panic(fmt.Sprintf("core: block %s on unknown node %s", h.name, node.Name))
+}
+
+// noteEdge attributes n moved bytes to the src→dst tier edge, in both
+// the manager's Stats and the metrics collector.
+func (m *Manager) noteEdge(src, dst *memsim.Node, n int64) {
+	if m.Stats.EdgeBytes == nil {
+		m.Stats.EdgeBytes = make(map[string]int64)
+	}
+	m.Stats.EdgeBytes[src.Name+"->"+dst.Name] += n
+	m.met.EdgeMove(src.Name, dst.Name, n)
+}
 
 // HBMBudget returns the bytes of HBM available for data blocks.
 func (m *Manager) HBMBudget() int64 { return m.hbm().Cap - m.opts.HBMReserve }
@@ -291,8 +333,10 @@ func (m *Manager) refundReservation(n int64) {
 }
 
 // NewHandle declares a managed data block of the given size. Placement
-// follows the mode: movement strategies and DDROnly start on DDR4;
-// Baseline fills HBM block-by-block until only the reserve is left.
+// follows the mode: movement strategies and DDROnly start on the
+// bottom tier (DDR4 on the paper's machine, the deepest tier of longer
+// chains); Baseline fills HBM block-by-block until only the reserve is
+// left.
 func (m *Manager) NewHandle(name string, size int64) *Handle {
 	if size <= 0 {
 		panic("core: handle needs positive size")
@@ -304,7 +348,7 @@ func (m *Manager) NewHandle(name string, size int64) *Handle {
 	switch m.opts.Mode {
 	case Baseline:
 		if m.hbmFits(size) {
-			buf, err := alloc.AllocOnNode(size, topology.HBMNodeID)
+			buf, err := alloc.AllocOnNode(size, m.hbm().ID)
 			if err != nil {
 				panic(fmt.Sprintf("core: baseline HBM alloc of %s failed: %v", name, err))
 			}
@@ -312,10 +356,10 @@ func (m *Manager) NewHandle(name string, size int64) *Handle {
 			break
 		}
 		fallthrough
-	default: // DDROnly and all movement strategies allocate on DDR4
-		buf, err := alloc.AllocOnNode(size, topology.DDRNodeID)
+	default: // DDROnly and all movement strategies allocate on the bottom tier
+		buf, err := alloc.AllocOnNode(size, m.bottom().ID)
 		if err != nil {
-			panic(fmt.Sprintf("core: DDR alloc of %s (%d bytes) failed: %v", name, size, err))
+			panic(fmt.Sprintf("core: %s alloc of %s (%d bytes) failed: %v", m.bottom().Name, name, size, err))
 		}
 		h.buf, h.state = buf, InDDR
 	}
@@ -334,9 +378,10 @@ func (m *Manager) Handles() []*Handle {
 
 // ResidentBytes returns the bytes of managed blocks currently in HBM.
 func (m *Manager) ResidentBytes() int64 {
+	hbm := m.hbm().ID
 	var total int64
 	for _, h := range m.handles {
-		total += h.buf.BytesOn(topology.HBMNodeID)
+		total += h.buf.BytesOn(hbm)
 	}
 	return total
 }
@@ -368,12 +413,13 @@ func (m *Manager) fetch(p *sim.Proc, lane int, h *Handle, hasReservation bool) e
 	if !hasReservation && !m.hbmFits(h.size) {
 		return errHBMBudget
 	}
+	src := m.tiers[m.tierOf(h)]
 	h.state = Fetching
 	if m.ts != nil {
 		m.ts.FetchStart(lane, h)
 	}
 	end := m.rt.Tracer().Begin(lane, projections.Fetch, h.name)
-	d, err := m.mach.Alloc.Migrate(p, h.buf, topology.HBMNodeID)
+	d, err := m.mach.Alloc.Migrate(p, h.buf, m.hbm().ID)
 	end()
 	if err != nil {
 		h.state = InDDR
@@ -385,22 +431,30 @@ func (m *Manager) fetch(p *sim.Proc, lane int, h *Handle, hasReservation bool) e
 	m.Stats.BytesFetched += h.size
 	m.Stats.FetchTime += d
 	m.met.FetchDone(h.size, d)
+	m.noteEdge(src, m.hbm(), h.size)
 	if h.Fetches > 1 {
 		m.Stats.Refetches++
 		m.met.Refetch(m.evictPolicy().Name())
 	}
 	if m.ts != nil {
-		m.ts.FetchDone(lane, h, d, h.Fetches > 1)
+		m.ts.FetchDone(lane, h, d, h.Fetches > 1, src.Name)
 	}
 	m.notePressure()
 	m.aud.CheckNow()
 	return nil
 }
 
-// evict migrates h back to DDR4 if it is resident, unreferenced, and —
+// evict migrates h out of HBM if it is resident, unreferenced, and —
 // unless force is set — not needed by any queued task. makeRoom forces
 // eviction of pending-use blocks as a last resort under capacity
 // pressure.
+//
+// The landing tier is the policy's demotion target: DemoteBottom drops
+// the victim to the far end of the chain (the paper's behaviour, and
+// the only option on a two-tier machine), DemoteNext one level below
+// HBM, keeping a likely-returning block on the cheapest miss edge.
+// When the target tier is full the victim cascades one tier deeper;
+// only the bottom tier is a capacity backstop whose failure panics.
 func (m *Manager) evict(p *sim.Proc, lane int, h *Handle, force bool) {
 	lockEnd := m.rt.Tracer().Begin(lane, projections.LockWait, "blk:"+h.name)
 	h.mu.Lock(p)
@@ -416,13 +470,31 @@ func (m *Manager) evict(p *sim.Proc, lane int, h *Handle, force bool) {
 	if forced {
 		m.Stats.ForcedEvictions++
 	}
+	ti := 1 // one level below HBM
+	if m.evictPolicy().DemoteTarget() == DemoteBottom {
+		ti = len(m.tiers) - 1
+	}
 	h.state = Evicting
 	end := m.rt.Tracer().Begin(lane, projections.Evict, h.name)
-	d, err := m.mach.Alloc.Migrate(p, h.buf, topology.DDRNodeID)
+	var (
+		dst *memsim.Node
+		d   sim.Time
+		err error
+	)
+	for ; ti < len(m.tiers); ti++ {
+		dst = m.tiers[ti]
+		// Migrate claims destination capacity atomically up front, so
+		// an ErrNoSpace here costs no virtual time and cascading to
+		// the next tier is free.
+		d, err = m.mach.Alloc.Migrate(p, h.buf, dst.ID)
+		if err == nil || !errors.Is(err, numa.ErrNoSpace) {
+			break
+		}
+	}
 	end()
 	if err != nil {
-		// DDR is the capacity backstop; failure here is a
-		// configuration error.
+		// The bottom tier is the capacity backstop; failure there (or
+		// any non-capacity error) is a configuration error.
 		panic(fmt.Sprintf("core: eviction of %s failed: %v", h.name, err))
 	}
 	h.state = InDDR
@@ -432,8 +504,9 @@ func (m *Manager) evict(p *sim.Proc, lane int, h *Handle, force bool) {
 	m.Stats.EvictTime += d
 	m.met.EvictDone(h.size, d, forced)
 	m.met.PolicyEvict(m.evictPolicy().Name(), forced)
+	m.noteEdge(m.hbm(), dst, h.size)
 	if m.ts != nil {
-		m.ts.EvictDone(lane, h, d, forced, m.evictPolicy().Name())
+		m.ts.EvictDone(lane, h, d, forced, m.evictPolicy().Name(), dst.Name)
 	}
 	m.aud.CheckNow()
 }
@@ -712,11 +785,14 @@ type TraceSink interface {
 	// queued for staging (true) or will execute inline (false).
 	TaskAdmitted(t *charm.Task, pe int, depBytes int64, staged bool)
 	// FetchStart/FetchDone bracket a block migration into HBM on an IO
-	// lane. refetch marks blocks that had been resident before.
+	// lane. refetch marks blocks that had been resident before; src is
+	// the tier node the block was fetched from.
 	FetchStart(lane int, h *Handle)
-	FetchDone(lane int, h *Handle, d sim.Time, refetch bool)
-	// EvictDone fires after a block migrates back to the far node.
-	EvictDone(lane int, h *Handle, d sim.Time, forced bool, policy string)
+	FetchDone(lane int, h *Handle, d sim.Time, refetch bool, src string)
+	// EvictDone fires after a block migrates out of HBM; dst is the
+	// tier node the victim landed on (the policy's demotion target, or
+	// deeper if that tier was full).
+	EvictDone(lane int, h *Handle, d sim.Time, forced bool, policy string, dst string)
 	// StageRetry fires when a staging attempt aborts for lack of HBM
 	// capacity, with the usage picture at the moment of the abort.
 	StageRetry(pe int, t *charm.Task, need, used, reserved int64)

@@ -65,6 +65,32 @@ func (s Scale) Machine() topology.MachineSpec {
 	return spec
 }
 
+// TieredMachine returns the machine spec extended to the given memory
+// chain depth (2..4, per topology.TieredKNL). At Small scale the extra
+// tiers are cut to the same 1/8 slice as the base machine — capacities
+// and bandwidths divided by 8 — so the pressure ratios between tiers
+// match the full machine's.
+func (s Scale) TieredMachine(depth int) (topology.MachineSpec, error) {
+	full, err := topology.TieredKNL(depth)
+	if err != nil {
+		return topology.MachineSpec{}, err
+	}
+	spec := s.Machine()
+	spec.Name = full.Name
+	tiers := make([]topology.TierSpec, len(full.ExtraTiers))
+	copy(tiers, full.ExtraTiers)
+	if s == Small {
+		for i := range tiers {
+			tiers[i].Cap /= 8
+			tiers[i].ReadBW /= 8
+			tiers[i].WriteBW /= 8
+			tiers[i].TotalBW /= 8
+		}
+	}
+	spec.ExtraTiers = tiers
+	return spec, nil
+}
+
 // NumPEs returns the worker count for the scale (the paper uses 64 of
 // the 68 cores).
 func (s Scale) NumPEs() int {

@@ -1,0 +1,141 @@
+package exp
+
+import (
+	"encoding/json"
+	"testing"
+
+	"github.com/hetmem/hetmem/internal/charm"
+	"github.com/hetmem/hetmem/internal/core"
+	"github.com/hetmem/hetmem/internal/kernels"
+)
+
+// TestX14GateAcceptance is the acceptance bar for the depth sweep:
+// Lookahead beats DeclOrder outright on every chain deeper than the
+// paper's, and its absolute advantage widens strictly from 2 to 3 to 4
+// tiers on both apps (Pass checks both). The demotion split must also
+// match the policies' rules: DeclOrder victims never stop at an
+// intermediate tier, Lookahead victims never go past the adjacent one.
+func TestX14GateAcceptance(t *testing.T) {
+	SetAudit(false)
+	res, err := RunX14(Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", res.Table())
+	if err := res.Pass(); err != nil {
+		t.Error(err)
+	}
+	for _, row := range res.Rows {
+		if row.Depth == 2 {
+			// On the paper's machine the adjacent tier is the bottom;
+			// both policies demote there.
+			if row.DemotedDeep != 0 {
+				t.Errorf("%s depth 2 %s: demoted %d bytes past the only far tier",
+					row.App, row.Policy, row.DemotedDeep)
+			}
+			continue
+		}
+		switch row.Policy {
+		case core.DeclOrder.Name():
+			if row.DemotedNext != 0 {
+				t.Errorf("%s depth %d decl: %d bytes stopped at the adjacent tier; decl drops to bottom",
+					row.App, row.Depth, row.DemotedNext)
+			}
+		case core.Lookahead.Name():
+			if row.DemotedDeep != 0 {
+				t.Errorf("%s depth %d lookahead: %d bytes went past the adjacent tier; lookahead demotes one level",
+					row.App, row.Depth, row.DemotedDeep)
+			}
+		}
+	}
+}
+
+// TestX14Deterministic: two full sweeps must render byte-identical
+// tables and benchmark JSON — the determinism half of the acceptance
+// criteria, at test scale.
+func TestX14Deterministic(t *testing.T) {
+	SetAudit(false)
+	r1, err := RunX14(Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := RunX14(Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, b := r1.Table().String(), r2.Table().String(); a != b {
+		t.Errorf("X14 tables differ across runs:\n--- run 1\n%s\n--- run 2\n%s", a, b)
+	}
+	j1, err := json.Marshal(r1.Bench())
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := json.Marshal(r2.Bench())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(j1) != string(j2) {
+		t.Errorf("X14 bench JSON differs across runs:\n%s\n%s", j1, j2)
+	}
+}
+
+// TestThreeTierEvictionDemotion drives the cyclic-sweep shift workload
+// on a 3-tier chain under all three victim policies and checks the
+// demotion semantics end to end through the per-edge byte counters:
+// DeclOrder and LRU drop victims to the bottom tier (no bytes stop at
+// DDR4), Lookahead demotes one level (no bytes reach the bottom), and
+// the cheaper refetch path makes Lookahead's post-shift phase faster
+// than DeclOrder's.
+func TestThreeTierEvictionDemotion(t *testing.T) {
+	SetAudit(false)
+	s := Small
+	spec, err := s.TieredMachine(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	postShift := make(map[string]float64)
+	for _, pol := range core.EvictPolicies() {
+		env := kernels.NewEnv(kernels.EnvConfig{
+			Spec:   spec,
+			NumPEs: s.NumPEs(),
+			Opts:   x10Options(s, pol),
+			Params: charm.DefaultParams(),
+		})
+		app, err := kernels.NewShift(env.MG, s.ShiftConfig())
+		if err != nil {
+			env.Close()
+			t.Fatal(err)
+		}
+		if _, err := app.Run(); err != nil {
+			env.Close()
+			t.Fatal(err)
+		}
+		postShift[pol.Name()] = float64(app.PostShiftTime())
+
+		chain := env.Mach.Chain()
+		near, next, bottom := chain[0].Name, chain[1].Name, chain[2].Name
+		edges := env.MG.Stats.EdgeBytes
+		toNext, toBottom := edges[near+"->"+next], edges[near+"->"+bottom]
+		switch pol.DemoteTarget() {
+		case core.DemoteBottom:
+			if toNext != 0 {
+				t.Errorf("%s: %d bytes stopped at %s; demote-to-bottom policies must not", pol.Name(), toNext, next)
+			}
+			if toBottom == 0 {
+				t.Errorf("%s: no bytes evicted to %s; the workload exerts no pressure", pol.Name(), bottom)
+			}
+		case core.DemoteNext:
+			if toBottom != 0 {
+				t.Errorf("%s: %d bytes dropped to %s; one-level demotion must stop at %s", pol.Name(), toBottom, bottom, next)
+			}
+			if toNext == 0 {
+				t.Errorf("%s: no bytes demoted to %s; the workload exerts no pressure", pol.Name(), next)
+			}
+		}
+		env.Close()
+	}
+	decl, look := postShift[core.DeclOrder.Name()], postShift[core.Lookahead.Name()]
+	if look >= decl {
+		t.Errorf("post-shift time: lookahead %.3f s not faster than decl %.3f s on the 3-tier chain", look, decl)
+	}
+}

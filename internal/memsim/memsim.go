@@ -36,6 +36,10 @@ const (
 	// latency-restricted. Included for the paper's "other kinds of
 	// memory heterogeneity" extension point.
 	NVM
+	// Remote is a disaggregated pool reached over a network or CXL
+	// link (DOLMA-style). Its TotalBW models the shared link: reads
+	// and writes from every client contend for the same cap.
+	Remote
 )
 
 // String returns the conventional name of the kind.
@@ -47,8 +51,29 @@ func (k NodeKind) String() string {
 		return "DDR"
 	case NVM:
 		return "NVM"
+	case Remote:
+		return "Remote"
 	default:
 		return fmt.Sprintf("NodeKind(%d)", int(k))
+	}
+}
+
+// TierRank orders kinds along the memory chain, nearest (fastest,
+// smallest) first: HBM < DDR < NVM < Remote. Node lookup goes through
+// this ordering rather than node IDs, so the chain position of a node
+// never depends on the order specs were listed in.
+func (k NodeKind) TierRank() int {
+	switch k {
+	case HBM:
+		return 0
+	case DDR:
+		return 1
+	case NVM:
+		return 2
+	case Remote:
+		return 3
+	default:
+		panic(fmt.Sprintf("memsim: no tier rank for %v", k))
 	}
 }
 
@@ -209,6 +234,23 @@ func (s *System) NodeByKind(k NodeKind) *Node {
 		}
 	}
 	return nil
+}
+
+// Chain returns the nodes ordered near to far by tier rank (HBM first,
+// then DDR, NVM, Remote), with ID order breaking ties. This, not the
+// node ID, is the authoritative chain order: specs may list nodes in
+// any order without swapping near and far memory.
+func (s *System) Chain() []*Node {
+	chain := make([]*Node, len(s.nodes))
+	copy(chain, s.nodes)
+	// Insertion sort: the chain has at most a handful of nodes, and a
+	// stable sort keeps ID order within a rank without importing sort.
+	for i := 1; i < len(chain); i++ {
+		for j := i; j > 0 && chain[j].Kind.TierRank() < chain[j-1].Kind.TierRank(); j-- {
+			chain[j], chain[j-1] = chain[j-1], chain[j]
+		}
+	}
+	return chain
 }
 
 // ActiveFlows returns the number of in-flight flows.

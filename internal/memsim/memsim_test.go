@@ -473,3 +473,55 @@ func TestNodeLookupOutOfRangePanics(t *testing.T) {
 	}()
 	s.Node(7)
 }
+
+// TestChainOrderIgnoresSpecOrder builds a three-node system in every
+// spec order and checks Chain and NodeByKind resolve nodes by kind —
+// the regression for the positional "DDR is node 0, HBM is node 1"
+// lookups, which swapped near and far memory whenever a spec listed
+// nodes in a different order.
+func TestChainOrderIgnoresSpecOrder(t *testing.T) {
+	specs := []NodeSpec{
+		{Name: "MCDRAM", Kind: HBM, Cap: 16 * gb, ReadBW: 400 * gb, WriteBW: 380 * gb},
+		{Name: "DDR4", Kind: DDR, Cap: 96 * gb, ReadBW: 100 * gb, WriteBW: 80 * gb},
+		{Name: "NVDIMM", Kind: NVM, Cap: 384 * gb, ReadBW: 32 * gb, WriteBW: 12 * gb},
+	}
+	want := []string{"MCDRAM", "DDR4", "NVDIMM"}
+	for _, p := range [][3]int{{0, 1, 2}, {0, 2, 1}, {1, 0, 2}, {1, 2, 0}, {2, 0, 1}, {2, 1, 0}} {
+		order := []NodeSpec{specs[p[0]], specs[p[1]], specs[p[2]]}
+		s := NewSystem(sim.NewEngine(1), order)
+		chain := s.Chain()
+		for i, name := range want {
+			if chain[i].Name != name {
+				t.Fatalf("spec order %v: chain[%d] = %s, want %s", p, i, chain[i].Name, name)
+			}
+		}
+		if s.NodeByKind(HBM).Name != "MCDRAM" || s.NodeByKind(NVM).Name != "NVDIMM" {
+			t.Fatalf("spec order %v: NodeByKind resolves wrong nodes", p)
+		}
+		// IDs still follow spec order — only chain position is semantic.
+		for i := range order {
+			if s.Node(i).Name != order[i].Name {
+				t.Fatalf("spec order %v: node IDs no longer match spec indices", p)
+			}
+		}
+	}
+}
+
+// TestTierRank pins the chain ordering of the kinds.
+func TestTierRank(t *testing.T) {
+	ranks := []NodeKind{HBM, DDR, NVM, Remote}
+	for i, k := range ranks {
+		if k.TierRank() != i {
+			t.Fatalf("%s rank = %d, want %d", k, k.TierRank(), i)
+		}
+	}
+	if Remote.String() != "Remote" {
+		t.Fatal("Remote kind string")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("TierRank on unknown kind should panic")
+		}
+	}()
+	NodeKind(42).TierRank()
+}

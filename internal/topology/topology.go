@@ -161,6 +161,25 @@ type MachineSpec struct {
 	// HybridCacheFraction is the MCDRAM share configured as cache in
 	// Hybrid mode (typically 0.25 or 0.5).
 	HybridCacheFraction float64
+
+	// ExtraTiers extends the chain below the DDR/far slot: each entry
+	// becomes one more memory node (NVM, then a remote/CXL pool),
+	// ordered by increasing distance from the cores. Empty for the
+	// paper's two-tier machine; the json tag keeps older encodings
+	// (trace meta headers) byte-identical.
+	ExtraTiers []TierSpec `json:",omitempty"`
+}
+
+// TierSpec describes one additional memory tier below the HBM/DDR
+// pair. For a Remote tier, TotalBW is the shared-link cap (DOLMA): all
+// reads and writes crossing the link contend for it.
+type TierSpec struct {
+	Kind    memsim.NodeKind
+	Cap     int64
+	ReadBW  float64
+	WriteBW float64
+	TotalBW float64
+	Latency sim.Time
 }
 
 // KNL7250 returns the machine used in the paper's evaluation, in Flat /
@@ -218,6 +237,18 @@ func (s MachineSpec) Validate() error {
 	case s.MemoryMode == Hybrid && (s.HybridCacheFraction <= 0 || s.HybridCacheFraction >= 1):
 		return fmt.Errorf("topology: hybrid mode needs cache fraction in (0,1), got %v", s.HybridCacheFraction)
 	}
+	prev := s.FarKind.TierRank()
+	for _, t := range s.ExtraTiers {
+		switch {
+		case t.Cap <= 0 || t.ReadBW <= 0 || t.WriteBW <= 0:
+			return fmt.Errorf("topology: %q tier %v has non-positive capacity or bandwidth", s.Name, t.Kind)
+		case t.Latency < 0:
+			return fmt.Errorf("topology: %q tier %v has negative latency", s.Name, t.Kind)
+		case t.Kind.TierRank() <= prev:
+			return fmt.Errorf("topology: %q extra tier %v does not deepen the chain", s.Name, t.Kind)
+		}
+		prev = t.Kind.TierRank()
+	}
 	return nil
 }
 
@@ -252,7 +283,7 @@ func (s MachineSpec) Build(e *sim.Engine) (*Machine, error) {
 	if s.MemoryMode == Hybrid {
 		hbmCap = int64(float64(hbmCap) * (1 - s.HybridCacheFraction))
 	}
-	mem := memsim.NewSystem(e, []memsim.NodeSpec{
+	specs := []memsim.NodeSpec{
 		{
 			Name: farName(s.FarKind), Kind: s.FarKind, Cap: s.DDRCap,
 			ReadBW: s.DDRReadBW * f, WriteBW: s.DDRWriteBW * f,
@@ -263,7 +294,19 @@ func (s MachineSpec) Build(e *sim.Engine) (*Machine, error) {
 			ReadBW: s.HBMReadBW * f, WriteBW: s.HBMWriteBW * f,
 			TotalBW: s.HBMTotalBW * f, Latency: s.HBMLatency,
 		},
-	})
+	}
+	// Deeper tiers append after the classic pair so node IDs 0 (far)
+	// and 1 (HBM) are stable for existing two-tier callers. The
+	// on-mesh bandwidth factor does not apply: NVM DIMM rates and the
+	// remote link cap are not mesh-limited.
+	for _, t := range s.ExtraTiers {
+		specs = append(specs, memsim.NodeSpec{
+			Name: tierName(t.Kind), Kind: t.Kind, Cap: t.Cap,
+			ReadBW: t.ReadBW, WriteBW: t.WriteBW,
+			TotalBW: t.TotalBW, Latency: t.Latency,
+		})
+	}
+	mem := memsim.NewSystem(e, specs)
 	return &Machine{Spec: s, Eng: e, Mem: mem, Alloc: numa.New(mem)}, nil
 }
 
@@ -284,6 +327,18 @@ func farName(k memsim.NodeKind) string {
 	return "DDR4"
 }
 
+// tierName labels an extra-tier node by its kind.
+func tierName(k memsim.NodeKind) string {
+	switch k {
+	case memsim.HBM:
+		return "MCDRAM"
+	case memsim.Remote:
+		return "Remote"
+	default:
+		return farName(k)
+	}
+}
+
 // KNLWithNVM returns the KNL preset with the far memory replaced by an
 // NVM tier: larger, with roughly a third of DDR4's bandwidth, a
 // read/write asymmetry typical of persistent memory, and microsecond
@@ -301,11 +356,71 @@ func KNLWithNVM() MachineSpec {
 	return s
 }
 
-// DDR returns the far-memory node (DDR4 or NVM, per FarKind).
-func (m *Machine) DDR() *memsim.Node { return m.Mem.Node(DDRNodeID) }
+// TieredKNL returns the KNL preset extended to the given chain depth:
+//
+//	2: HBM → DDR4 (the paper's machine, identical to KNL7250)
+//	3: HBM → DDR4 → NVM (Unimem-style heterogeneous main memory)
+//	4: HBM → DDR4 → NVM → Remote (DOLMA-style disaggregated pool
+//	   behind a shared-link bandwidth cap)
+//
+// The NVM tier reuses the KNLWithNVM numbers; the remote pool is a
+// 1 TB CXL/network tier whose TotalBW is the shared link.
+func TieredKNL(depth int) (MachineSpec, error) {
+	s := KNL7250()
+	switch depth {
+	case 2:
+		return s, nil
+	case 3, 4:
+		s.Name = fmt.Sprintf("%s, %d-tier chain", s.Name, depth)
+		s.ExtraTiers = append(s.ExtraTiers, TierSpec{
+			Kind: memsim.NVM, Cap: 384 * GB,
+			ReadBW: 32 * GBf, WriteBW: 12 * GBf, TotalBW: 34 * GBf,
+			Latency: 1.5e-6,
+		})
+		if depth == 4 {
+			s.ExtraTiers = append(s.ExtraTiers, TierSpec{
+				Kind: memsim.Remote, Cap: 1024 * GB,
+				ReadBW: 16 * GBf, WriteBW: 16 * GBf, TotalBW: 16 * GBf,
+				Latency: 3e-6,
+			})
+		}
+		return s, nil
+	default:
+		return MachineSpec{}, fmt.Errorf("topology: tier depth %d not in 2..4", depth)
+	}
+}
 
-// Far is an alias for DDR that reads better for NVM machines.
-func (m *Machine) Far() *memsim.Node { return m.DDR() }
+// TierDepth returns the number of memory tiers the spec describes.
+func (s MachineSpec) TierDepth() int { return 2 + len(s.ExtraTiers) }
 
-// HBM returns the near-memory node.
-func (m *Machine) HBM() *memsim.Node { return m.Mem.Node(HBMNodeID) }
+// Chain returns the memory nodes ordered near to far by kind rank
+// (HBM first), independent of the order nodes were created in.
+func (m *Machine) Chain() []*memsim.Node { return m.Mem.Chain() }
+
+// Tier returns the i-th node of the chain, 0 being the nearest (HBM).
+func (m *Machine) Tier(i int) *memsim.Node { return m.Chain()[i] }
+
+// NumTiers returns the chain length.
+func (m *Machine) NumTiers() int { return len(m.Mem.Nodes()) }
+
+// HBM returns the near-memory node, resolved by kind — never by node
+// ID, so machines whose specs list nodes in any order still find the
+// right one.
+func (m *Machine) HBM() *memsim.Node {
+	n := m.Mem.NodeByKind(memsim.HBM)
+	if n == nil {
+		panic("topology: machine has no HBM node")
+	}
+	return n
+}
+
+// DDR returns the first tier below HBM (DDR4, or NVM on FarKind=NVM
+// machines): the chain neighbour evictions demote to first.
+func (m *Machine) DDR() *memsim.Node { return m.Tier(1) }
+
+// Far returns the deepest tier of the chain — the capacity backstop
+// where blocks are born and where full demotions land.
+func (m *Machine) Far() *memsim.Node {
+	chain := m.Chain()
+	return chain[len(chain)-1]
+}

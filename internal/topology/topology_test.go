@@ -197,3 +197,62 @@ func TestMustBuildPanicsOnInvalid(t *testing.T) {
 	}()
 	s.MustBuild(sim.NewEngine(1))
 }
+
+// TestTieredKNL checks the depth presets build chains whose accessors
+// resolve by kind: HBM stays the near tier and the far tier deepens
+// with the chain, while the two-tier node-ID convention is preserved.
+func TestTieredKNL(t *testing.T) {
+	farKinds := map[int]memsim.NodeKind{2: memsim.DDR, 3: memsim.NVM, 4: memsim.Remote}
+	for depth := 2; depth <= 4; depth++ {
+		s, err := TieredKNL(depth)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.TierDepth() != depth {
+			t.Fatalf("depth %d: TierDepth = %d", depth, s.TierDepth())
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("depth %d: %v", depth, err)
+		}
+		m := s.MustBuild(sim.NewEngine(1))
+		if m.NumTiers() != depth {
+			t.Fatalf("depth %d: NumTiers = %d", depth, m.NumTiers())
+		}
+		if m.HBM().Kind != memsim.HBM || m.HBM().ID != HBMNodeID {
+			t.Fatalf("depth %d: HBM() resolved node %q (id %d)", depth, m.HBM().Name, m.HBM().ID)
+		}
+		if m.DDR().Kind != memsim.DDR || m.DDR().ID != DDRNodeID {
+			t.Fatalf("depth %d: DDR() resolved node %q (id %d)", depth, m.DDR().Name, m.DDR().ID)
+		}
+		chain := m.Chain()
+		if chain[0] != m.HBM() || chain[len(chain)-1] != m.Far() {
+			t.Fatalf("depth %d: chain ends are not HBM()/Far()", depth)
+		}
+		for i := 1; i < len(chain); i++ {
+			if chain[i].Kind.TierRank() <= chain[i-1].Kind.TierRank() {
+				t.Fatalf("depth %d: chain rank not strictly deepening at %d", depth, i)
+			}
+		}
+		if m.Far().Kind != farKinds[depth] {
+			t.Fatalf("depth %d: far tier kind %s, want %s", depth, m.Far().Kind, farKinds[depth])
+		}
+	}
+	for _, depth := range []int{1, 5} {
+		if _, err := TieredKNL(depth); err == nil {
+			t.Fatalf("TieredKNL(%d) should fail", depth)
+		}
+	}
+}
+
+// TestValidateRejectsNonDeepeningTier: extra tiers must strictly deepen
+// the chain.
+func TestValidateRejectsNonDeepeningTier(t *testing.T) {
+	s := KNL7250()
+	s.ExtraTiers = append(s.ExtraTiers, TierSpec{
+		Kind: memsim.DDR, Cap: GB, ReadBW: GBf, WriteBW: GBf, TotalBW: GBf,
+	})
+	err := s.Validate()
+	if err == nil || !strings.Contains(err.Error(), "deepen") {
+		t.Fatalf("Validate = %v, want non-deepening chain error", err)
+	}
+}

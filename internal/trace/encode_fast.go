@@ -264,6 +264,14 @@ func appendEvent(b []byte, e Event) ([]byte, bool) {
 		if b, ok = appendSafeString(b, ev.Policy); !ok {
 			return b, false
 		}
+		// dst carries omitempty: skipped exactly when json.Marshal
+		// would skip it (two-tier captures leave it empty).
+		if ev.Dst != "" {
+			b = append(b, `,"dst":`...)
+			if b, ok = appendSafeString(b, ev.Dst); !ok {
+				return b, false
+			}
+		}
 		return append(b, '}'), true
 
 	case *Pressure:

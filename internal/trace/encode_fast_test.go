@@ -36,6 +36,7 @@ func TestAppendEventMatchesJSON(t *testing.T) {
 			&FetchStart{Ev: hdr, Lane: 0, Block: "b", Bytes: 1},
 			&FetchEnd{Ev: hdr, Lane: 1, Block: "b", Bytes: 1, Dur: f, Src: "DDR4", Refetch: true},
 			&Evict{Ev: hdr, Lane: 2, Block: "b", Bytes: 9, Dur: f, Forced: false, Policy: "lookahead"},
+			&Evict{Ev: hdr, Lane: 2, Block: "b", Bytes: 9, Dur: f, Forced: true, Policy: "decl", Dst: "NVM"}, // multi-tier: dst recorded
 			&Pressure{Ev: hdr, PE: 4, Task: "stencil[3].iterate", Need: 5, Used: 6, Reserved: 7, Budget: 8},
 			&Adapt{Ev: hdr, Window: i, Action: "switch:multiio"},
 			&TaskDone{Ev: hdr, ID: int64(i)},

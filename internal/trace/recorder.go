@@ -32,7 +32,12 @@ type Recorder struct {
 	// running is indexed by Proc.ID(); id -1 marks a free slot.
 	running []runRef
 	tasks   int64
-	src     string // far-node name, the source of every fetch
+	// tiers is the machine's chain in near-to-far node-name order,
+	// recorded in the meta header. multiTier gates the Evict Dst field:
+	// on a two-tier machine the destination is unambiguous and omitted,
+	// keeping classic captures free of the field.
+	tiers     []string
+	multiTier bool
 
 	finished bool
 }
@@ -60,14 +65,18 @@ func NewSessionRecorder(mg *core.Manager, session, tenant string) *Recorder {
 		mg:  mg,
 		eng: rt.Engine(),
 		cap: &Capture{},
-		src: rt.Machine().DDR().Name,
 	}
+	for _, n := range rt.Machine().Chain() {
+		r.tiers = append(r.tiers, n.Name)
+	}
+	r.multiTier = len(r.tiers) > 2
 	r.emit(&Meta{
 		Version: Version,
 		NumPEs:  rt.NumPEs(),
 		Seed:    r.eng.Seed(),
 		Session: session,
 		Tenant:  tenant,
+		Tiers:   r.tiers,
 		Knobs:   KnobsOf(mg.Options()),
 		Params:  rt.Params(),
 		Spec:    rt.Machine().Spec,
@@ -174,14 +183,21 @@ func (r *Recorder) FetchStart(lane int, h *core.Handle) {
 	r.emit(&FetchStart{Lane: lane, Block: h.BlockName(), Bytes: h.Size()})
 }
 
-// FetchDone implements core.TraceSink.
-func (r *Recorder) FetchDone(lane int, h *core.Handle, d sim.Time, refetch bool) {
-	r.emit(&FetchEnd{Lane: lane, Block: h.BlockName(), Bytes: h.Size(), Dur: d, Src: r.src, Refetch: refetch})
+// FetchDone implements core.TraceSink. src is the tier node the bytes
+// came from — on longer chains a refetch of a one-level demotion reads
+// from DDR while first touches come from the bottom tier.
+func (r *Recorder) FetchDone(lane int, h *core.Handle, d sim.Time, refetch bool, src string) {
+	r.emit(&FetchEnd{Lane: lane, Block: h.BlockName(), Bytes: h.Size(), Dur: d, Src: src, Refetch: refetch})
 }
 
-// EvictDone implements core.TraceSink.
-func (r *Recorder) EvictDone(lane int, h *core.Handle, d sim.Time, forced bool, policy string) {
-	r.emit(&Evict{Lane: lane, Block: h.BlockName(), Bytes: h.Size(), Dur: d, Forced: forced, Policy: policy})
+// EvictDone implements core.TraceSink. The destination tier is only
+// recorded on chains deeper than two, where it carries information.
+func (r *Recorder) EvictDone(lane int, h *core.Handle, d sim.Time, forced bool, policy string, dst string) {
+	ev := &Evict{Lane: lane, Block: h.BlockName(), Bytes: h.Size(), Dur: d, Forced: forced, Policy: policy}
+	if r.multiTier {
+		ev.Dst = dst
+	}
+	r.emit(ev)
 }
 
 // StageRetry implements core.TraceSink.

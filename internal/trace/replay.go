@@ -1,13 +1,21 @@
 package trace
 
 import (
+	"errors"
 	"fmt"
+	"strings"
 
 	"github.com/hetmem/hetmem/internal/charm"
 	"github.com/hetmem/hetmem/internal/core"
 	"github.com/hetmem/hetmem/internal/kernels"
 	"github.com/hetmem/hetmem/internal/sim"
 )
+
+// ErrTierMismatch marks a replay refused because the capture's
+// recorded memory chain does not match the machine its spec rebuilds —
+// e.g. a 3-tier capture whose spec was stripped back to the default
+// two-tier machine. Callers (hmtrace) treat it like a damaged capture.
+var ErrTierMismatch = errors.New("trace: capture tier chain does not match replay machine")
 
 // RKernel is one recorded RunKernel call inside a task: Gap is the
 // virtual time the task spent before this kernel (since run start or
@@ -142,6 +150,21 @@ func (w *Workload) Replay(cfg ReplayConfig) (*ReplayResult, error) {
 		Seed:   w.Meta.Seed,
 	})
 	defer env.Close()
+	// Tier-aware captures name their chain in the meta header; refuse
+	// to replay against a machine with a different one. A fetch
+	// recorded from NVM has no meaning on a machine without that tier,
+	// and the what-if comparison would silently mix miss costs.
+	// Captures from before tier chains (no Tiers field) skip the check.
+	if len(w.Meta.Tiers) > 0 {
+		var chain []string
+		for _, n := range env.Mach.Chain() {
+			chain = append(chain, n.Name)
+		}
+		if strings.Join(chain, ",") != strings.Join(w.Meta.Tiers, ",") {
+			return nil, fmt.Errorf("%w: capture recorded [%s], machine has [%s]",
+				ErrTierMismatch, strings.Join(w.Meta.Tiers, " -> "), strings.Join(chain, " -> "))
+		}
+	}
 	rec := NewRecorder(env.MG)
 	rec.Attach()
 

@@ -1,6 +1,7 @@
 package trace_test
 
 import (
+	"errors"
 	"testing"
 
 	"github.com/hetmem/hetmem/internal/charm"
@@ -134,4 +135,81 @@ func head(s string, n int) string {
 		}
 	}
 	return out
+}
+
+// runTieredShift captures the Small shift workload on a 3-tier chain.
+func runTieredShift(t *testing.T) *trace.Capture {
+	t.Helper()
+	spec, err := exp.Small.TieredMachine(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := kernels.NewEnv(kernels.EnvConfig{
+		Spec:   spec,
+		NumPEs: exp.Small.NumPEs(),
+		Opts:   smallOpts(),
+		Params: charm.DefaultParams(),
+	})
+	defer env.Close()
+	rec := trace.NewRecorder(env.MG)
+	rec.Attach()
+	app, err := kernels.NewShift(env.MG, exp.Small.ShiftConfig())
+	if err != nil {
+		t.Fatalf("NewShift: %v", err)
+	}
+	if _, err := app.Run(); err != nil {
+		t.Fatalf("shift run: %v", err)
+	}
+	rec.Finish()
+	return rec.Capture()
+}
+
+// TestReplayTierMismatch: a capture whose recorded tier chain does not
+// match the machine its spec rebuilds is refused with ErrTierMismatch —
+// a fetch recorded from NVM has no meaning on a machine without that
+// tier. Clearing the recorded chain (what a pre-tier capture looks
+// like) skips the check for backward compatibility.
+func TestReplayTierMismatch(t *testing.T) {
+	c := runTieredShift(t)
+	if got := len(c.Meta().Tiers); got != 3 {
+		t.Fatalf("3-tier capture records %d tier names, want 3", got)
+	}
+
+	// Intact capture replays byte-identically on its own chain.
+	w, err := trace.Reconstruct(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := w.Replay(trace.ReplayConfig{})
+	if err != nil {
+		t.Fatalf("Replay on matching 3-tier machine: %v", err)
+	}
+	if got, want := res.Capture.ScheduleString(), c.ScheduleString(); got != want {
+		t.Fatal("3-tier replay schedule differs from recorded schedule")
+	}
+
+	// The workloads below share the capture's single Meta event, so each
+	// tamper is restored before the next case.
+	tiers, extra := w.Meta.Tiers, w.Meta.Spec.ExtraTiers
+
+	// Tampered chain names on an otherwise intact spec: refused.
+	w.Meta.Tiers = []string{"MCDRAM", "DDR4"}
+	if _, err := w.Replay(trace.ReplayConfig{}); !errors.Is(err, trace.ErrTierMismatch) {
+		t.Fatalf("Replay with tampered tier names = %v, want ErrTierMismatch", err)
+	}
+	w.Meta.Tiers = tiers
+
+	// Spec stripped back to the default two-tier machine: refused.
+	w.Meta.Spec.ExtraTiers = nil
+	if _, err := w.Replay(trace.ReplayConfig{}); !errors.Is(err, trace.ErrTierMismatch) {
+		t.Fatalf("Replay with stripped spec = %v, want ErrTierMismatch", err)
+	}
+
+	// Pre-tier captures carry no chain; the check is skipped and the
+	// stripped spec replays on whatever machine it describes.
+	w.Meta.Tiers = nil
+	if _, err := w.Replay(trace.ReplayConfig{}); err != nil {
+		t.Fatalf("Replay of tier-less capture: %v", err)
+	}
+	w.Meta.Tiers, w.Meta.Spec.ExtraTiers = tiers, extra
 }

@@ -122,14 +122,21 @@ func (k Knobs) Options() (core.Options, error) {
 // byte-identical to pre-service recorders.
 type Meta struct {
 	Ev
-	Version int                  `json:"version"`
-	NumPEs  int                  `json:"num_pes"`
-	Seed    int64                `json:"seed"`
-	Session string               `json:"session,omitempty"`
-	Tenant  string               `json:"tenant,omitempty"`
-	Knobs   Knobs                `json:"knobs"`
-	Params  charm.Params         `json:"params"`
-	Spec    topology.MachineSpec `json:"spec"`
+	Version int    `json:"version"`
+	NumPEs  int    `json:"num_pes"`
+	Seed    int64  `json:"seed"`
+	Session string `json:"session,omitempty"`
+	Tenant  string `json:"tenant,omitempty"`
+	// Tiers is the memory chain the capture ran on, node names in
+	// near-to-far order (e.g. ["MCDRAM","DDR4","NVM"]). Replay refuses
+	// a capture whose recorded chain differs from the machine the spec
+	// rebuilds — a tier-aware capture must not silently replay against
+	// the wrong topology. Absent on captures recorded before tier
+	// chains existed; those skip the check.
+	Tiers  []string             `json:"tiers,omitempty"`
+	Knobs  Knobs                `json:"knobs"`
+	Params charm.Params         `json:"params"`
+	Spec   topology.MachineSpec `json:"spec"`
 }
 
 func (*Meta) Kind() string { return "meta" }
@@ -224,8 +231,10 @@ type FetchStart struct {
 
 func (*FetchStart) Kind() string { return "fetch-start" }
 
-// FetchEnd marks the migration completing. Src names the far node the
-// bytes came from; Refetch marks blocks that had been resident before.
+// FetchEnd marks the migration completing. Src names the tier node the
+// bytes actually came from (the bottom tier for first touches, the
+// demotion target for refetches); Refetch marks blocks that had been
+// resident before.
 type FetchEnd struct {
 	Ev
 	Lane    int      `json:"lane"`
@@ -238,8 +247,10 @@ type FetchEnd struct {
 
 func (*FetchEnd) Kind() string { return "fetch-end" }
 
-// Evict records a block migrating back to the far node (T is the end
-// time; the eviction ran over [T-Dur, T]).
+// Evict records a block migrating out of HBM (T is the end time; the
+// eviction ran over [T-Dur, T]). Dst names the tier the victim landed
+// on; it is omitted when it is the far node of a two-tier machine, so
+// classic captures stay byte-identical to the pre-tier encoding.
 type Evict struct {
 	Ev
 	Lane   int      `json:"lane"`
@@ -248,6 +259,7 @@ type Evict struct {
 	Dur    sim.Time `json:"dur"`
 	Forced bool     `json:"forced"`
 	Policy string   `json:"policy"`
+	Dst    string   `json:"dst,omitempty"`
 }
 
 func (*Evict) Kind() string { return "evict" }
