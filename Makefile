@@ -3,7 +3,7 @@ GO ?= go
 # gate does not drift with upstream.
 STATICCHECK_VERSION ?= 2024.1.1
 
-.PHONY: ci vet build test race audit lint hmlint staticcheck bench bench-adapt bench-evict bench-trace bench-engine bench-serve bench-tiers
+.PHONY: ci vet build test race audit lint hmlint staticcheck lint-fix-check fuzz bench bench-adapt bench-evict bench-trace bench-engine bench-serve bench-tiers
 
 # ci is the gate: static checks (vet + hmlint + staticcheck), build,
 # race-enabled tests, and the audit-enabled figure sweep (every
@@ -20,10 +20,30 @@ vet:
 
 # hmlint enforces the repository's own invariants: staging-protocol
 # lock discipline, declared-dependence access modes, determinism of the
-# experiment tables, the Options/Retune Validate funnel, and
-# audit.Metrics attribution. Exits nonzero on any finding.
+# experiment tables, the Options/Retune Validate funnel, audit.Metrics
+# attribution, and the interprocedural checks (lock-order cycles,
+# condvar wait shape, goroutine lifecycles, tier-chain addressing,
+# fast-encoder coverage, snapshot copying). Exits nonzero on any
+# finding.
 hmlint:
 	$(GO) run ./cmd/hmlint ./...
+
+# lint-fix-check guards against drift between generated code and the
+# lint gate: re-run go generate (a no-op until the repo grows
+# generators, by design), re-run hmlint over the regenerated tree, and
+# fail if generation dirtied the checkout.
+lint-fix-check:
+	$(GO) generate ./...
+	$(GO) run ./cmd/hmlint ./...
+	git diff --exit-code
+
+# fuzz gives the native trace-codec fuzz targets a short bounded run
+# (seeded from the committed X11 capture); CI runs this on every push,
+# longer local runs just raise FUZZTIME.
+FUZZTIME ?= 30s
+fuzz:
+	$(GO) test ./internal/trace/ -run '^$$' -fuzz FuzzDecodeEvent -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/trace/ -run '^$$' -fuzz FuzzEncodeParity -fuzztime $(FUZZTIME)
 
 # staticcheck is optional locally (the build sandbox has no network to
 # install it); CI installs the pinned version, so the gate always runs

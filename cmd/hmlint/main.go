@@ -3,12 +3,16 @@
 // protocol's lock discipline (locksafe), the declared-dependence access
 // modes of the kernel API (handleaccess), the determinism rules behind
 // the byte-identical experiment tables (determinism), the
-// Options/Validate lifecycle (optionsmut) and audit.Metrics attribution
-// (metricsattr).
+// Options/Validate lifecycle (optionsmut), audit.Metrics attribution
+// (metricsattr), and the interprocedural invariants added with the
+// facts layer: lock-order acyclicity (lockorder), condvar wait shape
+// (waitloop), goroutine lifecycles (goroleak), tier-chain addressing
+// (tierchain), fast-encoder field coverage (encodeparity) and
+// snapshot-accessor copying (snapshotalias).
 //
 // Usage:
 //
-//	hmlint [-checks determinism,locksafe] [-list] [packages]
+//	hmlint [-checks determinism,locksafe] [-json] [-list] [packages]
 //
 // With no package patterns it analyses ./... in the current directory.
 // Exit status: 0 when clean, 1 when any finding is reported, 2 on
@@ -16,12 +20,16 @@
 //
 //	file:line:col: message [analyzer]
 //
-// and can be suppressed at the site with an inline justification:
+// or, with -json, as a JSON array of {file, line, col, message,
+// analyzer} objects (in that key order, matching the struct
+// declaration) for CI artifact consumption. Findings can be suppressed
+// at the site with an inline justification:
 //
 //	//hmlint:ignore <analyzer> <reason>
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -30,12 +38,24 @@ import (
 	"github.com/hetmem/hetmem/internal/lint"
 )
 
+// jsonFinding is the -json wire shape of one finding. encoding/json
+// emits object keys in struct declaration order, so the artifact
+// format is stable by construction.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+	Analyzer string `json:"analyzer"`
+}
+
 func main() {
 	checks := flag.String("checks", "", "comma-separated analyzer names to run (default: all)")
 	list := flag.Bool("list", false, "list analyzers and exit")
 	dir := flag.String("dir", ".", "directory to resolve package patterns in")
+	asJSON := flag.Bool("json", false, "emit findings as a JSON array instead of text")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: hmlint [-checks a,b] [-list] [-dir d] [packages]\n")
+		fmt.Fprintf(os.Stderr, "usage: hmlint [-checks a,b] [-json] [-list] [-dir d] [packages]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -64,8 +84,29 @@ func main() {
 	}
 
 	diags := lint.Run(pkgs, analyzers)
-	for _, d := range diags {
-		fmt.Println(d)
+	if *asJSON {
+		// Always an array — an empty tree yields [], not null, so
+		// artifact consumers can parse unconditionally.
+		out := make([]jsonFinding, 0, len(diags))
+		for _, d := range diags {
+			out = append(out, jsonFinding{
+				File:     d.Pos.Filename,
+				Line:     d.Pos.Line,
+				Col:      d.Pos.Column,
+				Message:  d.Message,
+				Analyzer: d.Analyzer,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(os.Stderr, "hmlint: encoding findings: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "hmlint: %d finding(s)\n", len(diags))

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -54,6 +55,192 @@ func Stamp() int64 { return 42 }
 	out, code = runLint(t, bin, "-list")
 	if code != 0 || !strings.Contains(out, "determinism") || !strings.Contains(out, "locksafe") {
 		t.Fatalf("-list: exit %d, output:\n%s", code, out)
+	}
+}
+
+// buildLint builds the hmlint binary once per temp dir.
+func buildLint(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "hmlint")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("building hmlint: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// TestDeadlockEndToEnd drives the interprocedural suite through the
+// binary: a throwaway module whose two mutexes are acquired in
+// conflicting order must exit 1 with a lockorder finding, exit 0 once
+// the order is fixed, and exit 2 when the module does not load.
+func TestDeadlockEndToEnd(t *testing.T) {
+	bin := buildLint(t)
+	mod := filepath.Join(t.TempDir(), "deadlock")
+	writeFile(t, filepath.Join(mod, "go.mod"), "module example.com/deadlock\n\ngo 1.22\n")
+	src := filepath.Join(mod, "internal", "svc", "svc.go")
+	writeFile(t, src, `package svc
+
+import "sync"
+
+type Server struct {
+	mu sync.Mutex
+}
+
+type Pool struct {
+	mu sync.Mutex
+}
+
+var (
+	srv  Server
+	pool Pool
+)
+
+func ServerFirst() {
+	srv.mu.Lock()
+	pool.mu.Lock()
+	pool.mu.Unlock()
+	srv.mu.Unlock()
+}
+
+func PoolFirst() {
+	pool.mu.Lock()
+	srv.mu.Lock()
+	srv.mu.Unlock()
+	pool.mu.Unlock()
+}
+`)
+
+	out, code := runLint(t, bin, "-dir", mod, "./...")
+	if code != 1 {
+		t.Fatalf("deadlocking module: exit %d, want 1\noutput:\n%s", code, out)
+	}
+	if !strings.Contains(out, "[lockorder]") ||
+		!strings.Contains(out, "svc.Server.mu") || !strings.Contains(out, "svc.Pool.mu") {
+		t.Fatalf("finding must name lockorder and both lock classes:\n%s", out)
+	}
+	if strings.Count(out, "[lockorder]") != 1 {
+		t.Fatalf("the cycle must be reported exactly once:\n%s", out)
+	}
+
+	// Consistent order: no cycle.
+	writeFile(t, src, `package svc
+
+import "sync"
+
+type Server struct {
+	mu sync.Mutex
+}
+
+type Pool struct {
+	mu sync.Mutex
+}
+
+var (
+	srv  Server
+	pool Pool
+)
+
+func ServerFirst() {
+	srv.mu.Lock()
+	pool.mu.Lock()
+	pool.mu.Unlock()
+	srv.mu.Unlock()
+}
+
+func AlsoServerFirst() {
+	srv.mu.Lock()
+	pool.mu.Lock()
+	pool.mu.Unlock()
+	srv.mu.Unlock()
+}
+`)
+	if out, code := runLint(t, bin, "-dir", mod, "./..."); code != 0 {
+		t.Fatalf("consistent-order module: exit %d, want 0\noutput:\n%s", code, out)
+	}
+
+	// Unparseable module: loader error.
+	writeFile(t, src, "package svc\n\nfunc broken( {\n")
+	if _, code := runLint(t, bin, "-dir", mod, "./..."); code != 2 {
+		t.Fatalf("broken module: exit %d, want 2", code)
+	}
+}
+
+// TestRootAndDependencyDedup loads a package both ways — named
+// directly as a root pattern and reached as a dependency of another
+// root — and asserts its finding prints exactly once. The loader
+// skips re-checking, and Run deduplicates identical diagnostics.
+func TestRootAndDependencyDedup(t *testing.T) {
+	bin := buildLint(t)
+	mod := filepath.Join(t.TempDir(), "dedup")
+	writeFile(t, filepath.Join(mod, "go.mod"), "module example.com/dedup\n\ngo 1.22\n")
+	writeFile(t, filepath.Join(mod, "internal", "clock", "clock.go"), `package clock
+
+import "time"
+
+func Stamp() time.Time { return time.Now() }
+`)
+	writeFile(t, filepath.Join(mod, "internal", "uses", "uses.go"), `package uses
+
+import "example.com/dedup/internal/clock"
+
+func Both() int64 { return clock.Stamp().Unix() }
+`)
+
+	out, code := runLint(t, bin, "-dir", mod, "./internal/clock", "./...")
+	if code != 1 {
+		t.Fatalf("exit %d, want 1\noutput:\n%s", code, out)
+	}
+	if got := strings.Count(out, "[determinism]"); got != 1 {
+		t.Fatalf("clock's finding must print exactly once when the package is both root and dependency, got %d lines:\n%s", got, out)
+	}
+}
+
+// TestJSONOutput checks the -json artifact mode: a JSON array with
+// stable keys, [] on a clean tree, same exit codes as text mode.
+func TestJSONOutput(t *testing.T) {
+	bin := buildLint(t)
+	mod := filepath.Join(t.TempDir(), "jsonmode")
+	writeFile(t, filepath.Join(mod, "go.mod"), "module example.com/jsonmode\n\ngo 1.22\n")
+	src := filepath.Join(mod, "internal", "exp", "exp.go")
+	writeFile(t, src, `package exp
+
+import "time"
+
+func Stamp() time.Time { return time.Now() }
+`)
+
+	out, code := runLint(t, bin, "-json", "-dir", mod, "./...")
+	if code != 1 {
+		t.Fatalf("dirty module: exit %d, want 1\noutput:\n%s", code, out)
+	}
+	// The stderr summary trails the JSON; decode the array prefix.
+	body := out[:strings.LastIndex(out, "]")+1]
+	var findings []map[string]interface{}
+	if err := json.Unmarshal([]byte(body), &findings); err != nil {
+		t.Fatalf("-json output is not a JSON array: %v\n%s", err, out)
+	}
+	if len(findings) == 0 {
+		t.Fatalf("-json lost the findings:\n%s", out)
+	}
+	for _, k := range []string{"file", "line", "col", "message", "analyzer"} {
+		if _, ok := findings[0][k]; !ok {
+			t.Fatalf("finding object missing key %q: %v", k, findings[0])
+		}
+	}
+	if findings[0]["analyzer"] != "determinism" {
+		t.Fatalf("analyzer = %v, want determinism", findings[0]["analyzer"])
+	}
+	// Keys must appear in declaration order for byte-stable artifacts.
+	if i, j := strings.Index(body, `"file"`), strings.Index(body, `"analyzer"`); i < 0 || j < i {
+		t.Fatalf("JSON keys not in declaration order:\n%s", body)
+	}
+
+	writeFile(t, src, "package exp\n\nfunc Stamp() int64 { return 42 }\n")
+	out, code = runLint(t, bin, "-json", "-dir", mod, "./...")
+	if code != 0 {
+		t.Fatalf("clean module: exit %d, want 0\noutput:\n%s", code, out)
+	}
+	if strings.TrimSpace(out) != "[]" {
+		t.Fatalf("clean -json output = %q, want []", out)
 	}
 }
 

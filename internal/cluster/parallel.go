@@ -137,6 +137,7 @@ func NewParallel(cfg Config, parallel bool) (*PCluster, error) {
 		}})
 		pc.Nodes = append(pc.Nodes, &PNode{
 			ID: i, Eng: eng, Mach: mach, RT: rt, MG: mg, Tracer: tr,
+			//hmlint:ignore tierchain the NIC system is a single-node bandwidth model built three lines up, not a tier chain; node 0 is its only node by construction
 			nic: nic, nicNode: nic.Node(0),
 		})
 	}

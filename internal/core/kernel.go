@@ -47,7 +47,9 @@ func (m *Manager) RunKernel(p *sim.Proc, deps []charm.DataDep, spec KernelSpec) 
 		if !ok {
 			panic("core: RunKernel on foreign handle")
 		}
-		for _, part := range h.buf.Parts() {
+		// Indexed Part access keeps the per-kernel path allocation-free.
+		for i := 0; i < h.buf.NumParts(); i++ {
+			part := h.buf.Part(i)
 			b := float64(part.Size) * scale
 			switch d.Mode {
 			case charm.ReadOnly:

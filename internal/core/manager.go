@@ -254,7 +254,7 @@ func (m *Manager) bottom() *memsim.Node { return m.tiers[len(m.tiers)-1] }
 // tierOf returns the chain index of the node currently holding h's
 // buffer (managed buffers always live on a single node).
 func (m *Manager) tierOf(h *Handle) int {
-	node := h.buf.Parts()[0].Node
+	node := h.buf.Part(0).Node
 	for i, t := range m.tiers {
 		if t == node {
 			return i

@@ -4,10 +4,16 @@ package lint
 func All() []*Analyzer {
 	return []*Analyzer{
 		Determinism,
+		EncodeParity,
+		GoroLeak,
 		HandleAccess,
+		LockOrder,
 		Locksafe,
 		MetricsAttr,
 		OptionsMut,
+		SnapshotAlias,
+		TierChain,
+		WaitLoop,
 	}
 }
 

@@ -1,0 +1,158 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// EncodeParity guards the hand-rolled fast trace encoder against the
+// one way it rots: someone adds a field to an event struct in
+// trace.go, encoding/json picks it up reflectively, and the
+// appendEvent type switch keeps emitting the old shape — the
+// byte-identity contract between the fast and reflective paths (and
+// the TestEncodeFastParity table) breaks only for captures that
+// exercise that event.
+//
+// The check is structural: inside every `append*` function of the
+// trace package, each type-switch case over a pointer-to-struct event
+// must mention every encodable field of that struct (exported, not
+// json:"-") on the case variable. Structs absent from the switch are
+// fine — they take the reflective slow path by design (Meta, Retune,
+// Stats carry maps and interface values).
+var EncodeParity = &Analyzer{
+	Name: "encodeparity",
+	Doc:  "require fast-path trace encoder cases to cover every encodable field of their event struct",
+	Match: func(rel string) bool {
+		return matchPrefix(rel, "internal/trace")
+	},
+	Run: runEncodeParity,
+}
+
+func runEncodeParity(p *Pass) {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !strings.HasPrefix(fd.Name.Name, "append") {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				ts, ok := n.(*ast.TypeSwitchStmt)
+				if !ok {
+					return true
+				}
+				checkEncodeSwitch(p, ts)
+				return true
+			})
+		}
+	}
+}
+
+func checkEncodeSwitch(p *Pass, ts *ast.TypeSwitchStmt) {
+	// The case variable from `switch ev := e.(type)`; the loader's Info
+	// has no Implicits map, so case-body references are matched by
+	// identifier name.
+	varName := ""
+	if as, ok := ts.Assign.(*ast.AssignStmt); ok && len(as.Lhs) == 1 {
+		if id, ok := as.Lhs[0].(*ast.Ident); ok {
+			varName = id.Name
+		}
+	}
+	if varName == "" {
+		return
+	}
+	for _, c := range ts.Body.List {
+		cc, ok := c.(*ast.CaseClause)
+		if !ok || len(cc.List) != 1 {
+			// Multi-type cases can only touch the common interface, not
+			// struct fields; they are not per-field encoders.
+			continue
+		}
+		st := eventStruct(p, cc.List[0])
+		if st == nil {
+			continue
+		}
+		used := make(map[string]bool)
+		for _, s := range cc.Body {
+			ast.Inspect(s, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				if id, ok := sel.X.(*ast.Ident); ok && id.Name == varName {
+					used[sel.Sel.Name] = true
+				}
+				return true
+			})
+		}
+		tn := namedFrom(p.TypeOf(cc.List[0]))
+		for i := 0; i < st.NumFields(); i++ {
+			fld := st.Field(i)
+			if !fld.Exported() || jsonSkipped(st.Tag(i)) {
+				continue
+			}
+			if !used[fld.Name()] {
+				p.Reportf(cc.Pos(),
+					"fast-path encoder case for %s does not reference field %s; the fast and reflective encodings diverge",
+					tn.Obj().Name(), fld.Name())
+			}
+		}
+	}
+}
+
+// eventStruct returns the struct type behind a `case *T:` expression
+// when T is declared in the package under analysis, else nil.
+func eventStruct(p *Pass, e ast.Expr) *types.Struct {
+	n := namedFrom(p.TypeOf(e))
+	if n == nil || n.Obj().Pkg() != p.Pkg {
+		return nil
+	}
+	st, _ := n.Underlying().(*types.Struct)
+	return st
+}
+
+// jsonSkipped reports whether a struct tag opts the field out of JSON.
+func jsonSkipped(tag string) bool {
+	v, ok := lookupTag(tag, "json")
+	return ok && (v == "-" || strings.HasPrefix(v, "-,"))
+}
+
+// lookupTag is reflect.StructTag.Lookup without importing reflect's
+// value machinery into the analyzer.
+func lookupTag(tag, key string) (string, bool) {
+	for tag != "" {
+		i := 0
+		for i < len(tag) && tag[i] == ' ' {
+			i++
+		}
+		tag = tag[i:]
+		if tag == "" {
+			break
+		}
+		i = 0
+		for i < len(tag) && tag[i] > ' ' && tag[i] != ':' && tag[i] != '"' {
+			i++
+		}
+		if i == 0 || i+1 >= len(tag) || tag[i] != ':' || tag[i+1] != '"' {
+			break
+		}
+		name := tag[:i]
+		tag = tag[i+1:]
+		i = 1
+		for i < len(tag) && tag[i] != '"' {
+			if tag[i] == '\\' {
+				i++
+			}
+			i++
+		}
+		if i >= len(tag) {
+			break
+		}
+		val := tag[1:i]
+		tag = tag[i+1:]
+		if name == key {
+			return val, true
+		}
+	}
+	return "", false
+}

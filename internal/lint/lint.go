@@ -42,6 +42,11 @@ type Analyzer struct {
 	// "cmd/hmrepro", "examples/quickstart"). A nil Match applies the
 	// analyzer everywhere.
 	Match func(relPath string) bool
+	// NeedsFacts requests the cross-package facts layer (call graph +
+	// lock summaries); when any selected analyzer sets it, Run computes
+	// the facts once over the whole package set and exposes them via
+	// Pass.Facts.
+	NeedsFacts bool
 	// Run inspects one package and reports findings through the pass.
 	Run func(*Pass)
 }
@@ -57,6 +62,10 @@ type Pass struct {
 	// RelPath is the module-relative import path ("" for the module
 	// root package).
 	RelPath string
+	// Facts is the interprocedural facts layer, non-nil iff the
+	// analyzer declared NeedsFacts. It spans every package of the run,
+	// not just the one this pass inspects.
+	Facts *Facts
 
 	diags *[]Diagnostic
 }
@@ -91,6 +100,13 @@ func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.Info.TypeOf(e) }
 // Match scope and the //hmlint:ignore suppressions, and returns the
 // surviving findings sorted by position.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var facts *Facts
+	for _, a := range analyzers {
+		if a.NeedsFacts {
+			facts = ComputeFacts(pkgs)
+			break
+		}
+	}
 	var diags []Diagnostic
 	for _, pkg := range pkgs {
 		sup := collectSuppressions(pkg, &diags)
@@ -105,12 +121,14 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 				Pkg:      pkg.Types,
 				Info:     pkg.Info,
 				RelPath:  pkg.RelPath,
+				Facts:    facts,
 				diags:    &diags,
 			}
 			a.Run(pass)
 		}
 		diags = sup.filter(diags)
 	}
+	diags = dedupe(diags)
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -128,6 +146,24 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 		return a.Message < b.Message
 	})
 	return diags
+}
+
+// dedupe drops byte-identical findings. A package can reach the driver
+// both as a root and as a dependency of another root (hmlint
+// ./internal/core ./...), and a facts-backed analyzer can derive the
+// same global report from two packages; the finding must still print
+// exactly once.
+func dedupe(diags []Diagnostic) []Diagnostic {
+	seen := make(map[Diagnostic]bool, len(diags))
+	out := diags[:0]
+	for _, d := range diags {
+		if seen[d] {
+			continue
+		}
+		seen[d] = true
+		out = append(out, d)
+	}
+	return out
 }
 
 // --- shared helpers used by several analyzers ---

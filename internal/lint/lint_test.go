@@ -176,6 +176,90 @@ func TestMetricsAttrFixture(t *testing.T) {
 	checkFixture(t, MetricsAttr, "metricsattr", "github.com/hetmem/hetmem/internal/core/lintfixture2")
 }
 
+func TestLockOrderFixture(t *testing.T) {
+	checkFixture(t, LockOrder, "lockorder", "github.com/hetmem/hetmem/internal/lintfixture/lockorder")
+}
+
+func TestWaitLoopFixture(t *testing.T) {
+	checkFixture(t, WaitLoop, "waitloop", "github.com/hetmem/hetmem/internal/lintfixture/waitloop")
+}
+
+func TestGoroLeakFixture(t *testing.T) {
+	// The import path matters: goroleak scopes to the long-running
+	// layers (cluster, serve, cmd).
+	checkFixture(t, GoroLeak, "goroleak", "github.com/hetmem/hetmem/internal/cluster/lintfixture")
+}
+
+func TestTierChainFixture(t *testing.T) {
+	checkFixture(t, TierChain, "tierchain", "github.com/hetmem/hetmem/internal/lintfixture/tierchain")
+}
+
+func TestEncodeParityFixture(t *testing.T) {
+	// Scoped to internal/trace, where the fast encoder lives.
+	checkFixture(t, EncodeParity, "encodeparity", "github.com/hetmem/hetmem/internal/trace/lintfixture")
+}
+
+func TestSnapshotAliasFixture(t *testing.T) {
+	checkFixture(t, SnapshotAlias, "snapshotalias", "github.com/hetmem/hetmem/internal/lintfixture/snapshotalias")
+}
+
+// TestFactsLayer asserts the interprocedural summaries directly: the
+// call graph, the held-lock annotations, and the Signals fixpoint that
+// lockorder and goroleak consume.
+func TestFactsLayer(t *testing.T) {
+	var facts *Facts
+	grab := &Analyzer{Name: "grab", NeedsFacts: true, Run: func(p *Pass) { facts = p.Facts }}
+	runFixture(t, grab, "lockorder", "github.com/hetmem/hetmem/internal/lintfixture/lockorder")
+	if facts == nil {
+		t.Fatal("NeedsFacts analyzer ran without a facts layer")
+	}
+
+	byName := map[string]*FnFact{}
+	for _, fn := range facts.Functions() {
+		byName[fn.Fn.Name()] = fn
+	}
+	ab := byName["ab"]
+	if ab == nil {
+		t.Fatal("facts missing function ab")
+	}
+	if len(ab.Acquires) != 2 {
+		t.Fatalf("ab acquires = %d locks, want 2 (%v)", len(ab.Acquires), ab.Acquires)
+	}
+	if got := ab.Acquires[1]; got.Class != "lockorder.B.mu" || len(got.Held) != 1 || got.Held[0].Class != "lockorder.A.mu" {
+		t.Fatalf("ab second acquisition = %+v, want lockorder.B.mu held under lockorder.A.mu", got)
+	}
+
+	cThenD := byName["cThenD"]
+	if cThenD == nil {
+		t.Fatal("facts missing function cThenD")
+	}
+	var callsLockD *CallSite
+	for i := range cThenD.Calls {
+		if cThenD.Calls[i].Callee.Name() == "lockD" {
+			callsLockD = &cThenD.Calls[i]
+		}
+	}
+	if callsLockD == nil {
+		t.Fatal("cThenD call graph does not include lockD")
+	}
+	if len(callsLockD.Held) != 1 || callsLockD.Held[0].Class != "lockorder.C.mu" {
+		t.Fatalf("lockD call site held = %v, want [lockorder.C.mu] (deferred unlock keeps the lock held)", callsLockD.Held)
+	}
+
+	cycles := facts.LockCycles()
+	if len(cycles) != 2 {
+		t.Fatalf("LockCycles = %d cycles, want 2 (A<->B direct, C<->D via calls):\n%v", len(cycles), cycles)
+	}
+	if !strings.Contains(cycles[1].msg, "via lockD") {
+		t.Errorf("interprocedural cycle message should name the via callee, got: %s", cycles[1].msg)
+	}
+
+	// Signals: ab signals nothing; a function is not its own evidence.
+	if facts.Signals(ab.Fn) {
+		t.Error("Signals(ab) = true, want false (no channel/WaitGroup/Cond operations)")
+	}
+}
+
 // TestSuppressions checks the //hmlint:ignore protocol end to end: a
 // justified directive silences its finding, a reason-less directive is
 // itself reported and suppresses nothing.
@@ -212,8 +296,8 @@ func TestRepoIsClean(t *testing.T) {
 // TestByName covers the driver's -checks selection.
 func TestByName(t *testing.T) {
 	all, ok := ByName(nil)
-	if !ok || len(all) != 5 {
-		t.Fatalf("ByName(nil) = %d analyzers, ok=%v; want all 5", len(all), ok)
+	if !ok || len(all) != 11 {
+		t.Fatalf("ByName(nil) = %d analyzers, ok=%v; want all 11", len(all), ok)
 	}
 	sel, ok := ByName([]string{"determinism", "locksafe"})
 	if !ok || len(sel) != 2 || sel[0].Name != "determinism" || sel[1].Name != "locksafe" {

@@ -114,10 +114,19 @@ func load(dir string, patterns ...string) (*graph, error) {
 	})
 
 	var pkgs []*Package
+	loaded := make(map[string]bool, len(metas))
 	for _, meta := range metas {
 		if meta.ImportPath == "unsafe" {
 			continue
 		}
+		// go list -deps lists a package once per occurrence across
+		// patterns in odd invocations (a package named both as a root
+		// and reached as a dependency); checking the same package twice
+		// would double every diagnostic in it.
+		if loaded[meta.ImportPath] {
+			continue
+		}
+		loaded[meta.ImportPath] = true
 		var files []*ast.File
 		for _, name := range meta.GoFiles {
 			af, err := parser.ParseFile(fset, filepath.Join(meta.Dir, name), nil, parser.ParseComments)

@@ -1,0 +1,31 @@
+package lint
+
+// LockOrder builds the global lock-order graph from the facts layer —
+// an edge A -> B whenever some function acquires mutex class B while
+// holding A, either directly or anywhere down a statically-resolved
+// call chain — and reports every cycle as a potential deadlock.
+//
+// Classes are (package, type, field) families: serve.Server.mu,
+// core.multiIO.ioMu[] (per-PE arrays collapse onto one class, since
+// acquiring two members without a rank order is itself a hazard). The
+// analysis spans every package of the run; each cycle is reported
+// exactly once, anchored at its smallest-position edge so a
+// //hmlint:ignore lockorder <reason> at that site can suppress a
+// deliberate ordering.
+var LockOrder = &Analyzer{
+	Name:       "lockorder",
+	Doc:        "report cycles in the global mutex acquisition-order graph (potential deadlocks)",
+	NeedsFacts: true,
+	Run:        runLockOrder,
+}
+
+func runLockOrder(p *Pass) {
+	for _, c := range p.Facts.LockCycles() {
+		// The cycle is global; report it only in the pass whose package
+		// owns the anchoring edge, so the run emits it once and local
+		// suppressions apply.
+		if c.rel == p.RelPath {
+			p.Reportf(c.pos, "%s", c.msg)
+		}
+	}
+}

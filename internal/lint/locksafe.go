@@ -46,40 +46,11 @@ func runLocksafe(p *Pass) {
 	}
 }
 
-// condOwnerMap pairs condition variables with their owning mutexes by
-// scanning the package for sim.NewCond(&mu) assignments: the cond's
-// field/variable base name maps to the mutex's base name, so indexed
-// per-PE pairs (ioCond[i] / ioMu[i]) resolve too.
+// condOwnerMap pairs condition variables with their owning mutexes from
+// the package's sim.NewCond(&mu) assignments; it is the sim-only view
+// of the shared newCondOwners helper (waitloop.go).
 func condOwnerMap(p *Pass) map[string]string {
-	owners := make(map[string]string)
-	for _, f := range p.Files {
-		ast.Inspect(f, func(n ast.Node) bool {
-			as, ok := n.(*ast.AssignStmt)
-			if !ok || len(as.Lhs) != len(as.Rhs) {
-				return true
-			}
-			for i, rhs := range as.Rhs {
-				call, ok := rhs.(*ast.CallExpr)
-				if !ok || len(call.Args) != 1 {
-					continue
-				}
-				sel, ok := call.Fun.(*ast.SelectorExpr)
-				if !ok || sel.Sel.Name != "NewCond" {
-					continue
-				}
-				if pkg := p.pkgOf(sel.X); pkg == nil || !isPkgPath(pkg, "internal/sim") {
-					continue
-				}
-				arg := call.Args[0]
-				if ue, ok := arg.(*ast.UnaryExpr); ok && ue.Op == token.AND {
-					arg = ue.X
-				}
-				owners[baseName(as.Lhs[i])] = baseName(arg)
-			}
-			return true
-		})
-	}
-	return owners
+	return newCondOwners(p, "internal/sim")
 }
 
 // lockState is the walker's held-mutex bookkeeping at one program

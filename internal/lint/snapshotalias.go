@@ -1,0 +1,94 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// SnapshotAlias flags exported methods that hand out their receiver's
+// unexported slice or map fields by reference. The runtime's metrics
+// and topology accessors promise snapshots (Scheduler.Sessions,
+// Metrics.Snapshot copy before returning); an accessor that returns
+// the internal slice itself gives callers a window into state mutated
+// under the owner's lock — reads race, and appends by the caller
+// corrupt the owner. Returning an element pointer is fine; returning
+// the container is not, unless the site carries a justified
+// //hmlint:ignore snapshotalias suppression documenting the alias.
+var SnapshotAlias = &Analyzer{
+	Name: "snapshotalias",
+	Doc:  "flag exported methods returning internal slice/map fields without copying",
+	Run:  runSnapshotAlias,
+}
+
+func runSnapshotAlias(p *Pass) {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || fd.Recv == nil || !fd.Name.IsExported() {
+				continue
+			}
+			recvName := receiverName(fd)
+			if recvName == "" {
+				continue
+			}
+			checkAliasReturns(p, fd, recvName)
+		}
+	}
+}
+
+func receiverName(fd *ast.FuncDecl) string {
+	if len(fd.Recv.List) != 1 || len(fd.Recv.List[0].Names) != 1 {
+		return ""
+	}
+	return fd.Recv.List[0].Names[0].Name
+}
+
+func checkAliasReturns(p *Pass, fd *ast.FuncDecl, recvName string) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			// Closures are not the method's API surface.
+			return false
+		}
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for _, res := range ret.Results {
+			field, ok := receiverField(res, recvName)
+			if !ok || field.Sel.Name == "" || ast.IsExported(field.Sel.Name) {
+				continue
+			}
+			t := p.TypeOf(res)
+			if t == nil {
+				continue
+			}
+			switch t.Underlying().(type) {
+			case *types.Slice, *types.Map:
+				p.Reportf(res.Pos(),
+					"exported method %s returns internal field %s by reference; copy it (callers would alias state guarded by the receiver)",
+					fd.Name.Name, exprString(res))
+			}
+		}
+		return true
+	})
+}
+
+// receiverField matches a selector chain rooted at the receiver
+// identifier (r.f, r.inner.f) and returns its final selector.
+func receiverField(e ast.Expr, recvName string) (*ast.SelectorExpr, bool) {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok {
+		return nil, false
+	}
+	x := sel.X
+	for {
+		switch xx := ast.Unparen(x).(type) {
+		case *ast.Ident:
+			return sel, xx.Name == recvName
+		case *ast.SelectorExpr:
+			x = xx.X
+		default:
+			return nil, false
+		}
+	}
+}

@@ -1,0 +1,81 @@
+// Package goroleak exercises the goroutine-lifecycle check: every
+// spawn needs reachable join or completion evidence.
+package goroleak
+
+import "sync"
+
+// fireAndForget has no way to signal completion or be stopped.
+func fireAndForget(work func()) {
+	go func() { // want `goroutine has no reachable join or completion signal`
+		work()
+	}()
+}
+
+// joined signals through the WaitGroup.
+func joined(work func()) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+// channelled reports completion over a channel.
+func channelled(work func() error) error {
+	errc := make(chan error, 1)
+	go func() { errc <- work() }()
+	return <-errc
+}
+
+// closer closes a done channel.
+func closer(work func()) chan struct{} {
+	done := make(chan struct{})
+	go func() {
+		work()
+		close(done)
+	}()
+	return done
+}
+
+// drainer ranges over a channel: the spawner ends it by closing ch.
+func drainer(ch chan int, f func(int)) {
+	go func() {
+		for v := range ch {
+			f(v)
+		}
+	}()
+}
+
+// loopForever is a named spawn with no signal anywhere down its
+// (trivial) call chain.
+func loopForever() {
+	for {
+	}
+}
+
+func spawnLoop() {
+	go loopForever() // want `goroutine loopForever has no reachable join or completion signal`
+}
+
+// runAndClose signals transitively: the spawned named function closes
+// its channel, so the facts layer's Signals fixpoint accepts it.
+type server struct {
+	done chan struct{}
+}
+
+func (s *server) run() {
+	close(s.done)
+}
+
+func (s *server) start() {
+	go s.run()
+}
+
+// indirectSignal reaches the evidence two calls deep.
+func (s *server) finish() { s.run() }
+
+func (s *server) startIndirect() {
+	go s.finish()
+}

@@ -1,0 +1,49 @@
+// Package snapshotalias exercises the snapshot-accessor check:
+// exported methods must not hand out internal slices or maps by
+// reference.
+package snapshotalias
+
+type registry struct {
+	names  []string
+	counts map[string]int
+	Public []int
+	inner  struct {
+		tags []string
+	}
+}
+
+// Names aliases the internal slice.
+func (r *registry) Names() []string {
+	return r.names // want `exported method Names returns internal field r\.names by reference`
+}
+
+// Counts aliases the internal map.
+func (r *registry) Counts() map[string]int {
+	return r.counts // want `exported method Counts returns internal field r\.counts by reference`
+}
+
+// Tags aliases through a nested field.
+func (r *registry) Tags() []string {
+	return r.inner.tags // want `exported method Tags returns internal field r\.inner\.tags by reference`
+}
+
+// NamesCopy is the sanctioned shape.
+func (r *registry) NamesCopy() []string {
+	return append([]string(nil), r.names...)
+}
+
+// PublicInts returns an exported field: callers can already reach it,
+// so returning it is API, not leakage.
+func (r *registry) PublicInts() []int {
+	return r.Public
+}
+
+// names is unexported: internal helpers may share state.
+func (r *registry) namesRef() []string {
+	return r.names
+}
+
+// Count returns a scalar; only containers alias.
+func (r *registry) Count(k string) int {
+	return r.counts[k]
+}

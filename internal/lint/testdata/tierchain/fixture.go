@@ -1,0 +1,59 @@
+// Package tierchain exercises the positional-node-access ban: raw
+// node IDs and node-list indices are not tier positions; only the
+// kind-ranked chain is.
+package tierchain
+
+import "github.com/hetmem/hetmem/internal/memsim"
+
+type runtime struct {
+	sys   *memsim.System
+	tiers []*memsim.Node
+}
+
+func (r *runtime) init() {
+	r.tiers = r.sys.Chain()
+}
+
+// hbmByID assumes node 1 is the HBM — exactly the PR 8 bug: a spec
+// listing DDR first makes node 1 the HBM, any other order does not.
+func hbmByID(sys *memsim.System) *memsim.Node {
+	return sys.Node(1) // want `positional node lookup sys\.Node\(1\) assumes node IDs follow tier order`
+}
+
+// nearByIndex indexes the raw id-ordered list.
+func nearByIndex(sys *memsim.System) *memsim.Node {
+	return sys.Nodes()[1] // want `positional index sys\.Nodes\(\)\[1\] of a raw memsim node list`
+}
+
+// viaLocal is the same bug behind a local variable.
+func viaLocal(sys *memsim.System) *memsim.Node {
+	nodes := sys.Nodes()
+	return nodes[1] // want `positional index nodes\[1\] of a raw memsim node list`
+}
+
+// chainAccess is the sanctioned positional surface: Chain sorts by
+// tier rank before indexing.
+func chainAccess(sys *memsim.System) *memsim.Node {
+	return sys.Chain()[0]
+}
+
+// chainLocal keeps working through a chain-derived variable.
+func chainLocal(sys *memsim.System) *memsim.Node {
+	chain := sys.Chain()
+	return chain[0]
+}
+
+// chainField keeps working through a chain-derived struct field
+// (assigned in init above).
+func (r *runtime) near() *memsim.Node {
+	return r.tiers[0]
+}
+
+// byKind and variable indices are fine.
+func byKind(sys *memsim.System) *memsim.Node {
+	return sys.NodeByKind(memsim.HBM)
+}
+
+func nth(sys *memsim.System, i int) *memsim.Node {
+	return sys.Chain()[i]
+}

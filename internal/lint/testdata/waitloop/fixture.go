@@ -1,0 +1,75 @@
+// Package waitloop exercises the condvar discipline: Wait must sit in
+// a predicate-re-checking for loop with the paired mutex held.
+package waitloop
+
+import "sync"
+
+type q struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	ready bool
+	items []int
+}
+
+func newQ() *q {
+	s := &q{}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// good is the canonical shape: lock, loop on the predicate, wait.
+func (s *q) good() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for len(s.items) == 0 {
+		s.cond.Wait()
+	}
+	v := s.items[0]
+	s.items = s.items[1:]
+	return v
+}
+
+// goodGuarded re-checks via an if inside an infinite loop.
+func (s *q) goodGuarded() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if s.ready {
+			return
+		}
+		s.cond.Wait()
+	}
+}
+
+// bareWait has no loop at all: a spurious wake-up proceeds on a stale
+// predicate.
+func (s *q) bareWait() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cond.Wait() // want `cond\.Wait outside a for loop`
+}
+
+// rangeWait cannot re-check the predicate per iteration.
+func (s *q) rangeWait(ticks []int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for range ticks {
+		s.cond.Wait() // want `cond\.Wait inside a range loop`
+	}
+}
+
+// spinWait loops but never re-checks anything.
+func (s *q) spinWait() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		s.cond.Wait() // want `cond\.Wait in an unconditional for loop without a predicate check`
+	}
+}
+
+// unlockedWait loops correctly but never takes the paired mutex.
+func (s *q) unlockedWait() {
+	for !s.ready {
+		s.cond.Wait() // want `cond\.Wait without locking its paired mutex mu`
+	}
+}

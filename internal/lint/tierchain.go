@@ -1,0 +1,143 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// TierChain bans positional memsim node access outside the memsim
+// package itself: `sys.Node(1)` and `sys.Nodes()[1]` encode the
+// assumption that node IDs follow tier order, which broke silently
+// when the N-tier generalisation let machine specs declare tiers in
+// any order (the PR 8 bug class: DDR-first specs made "node 1" the
+// HBM on some machines and the NVM on others).
+//
+// The sanctioned positional surface is the kind-ranked chain:
+// System.Chain() and Machine.Tier(i) sort by TierRank before
+// indexing, and System.NodeByKind looks up by kind. Indexing a
+// variable assigned from a Chain() call is accepted — the chain is
+// positional by construction — but raw node lists are not.
+var TierChain = &Analyzer{
+	Name: "tierchain",
+	Doc:  "ban positional memsim node lookups (Node(i), Nodes()[i]) that bypass the kind-ranked tier chain",
+	Match: func(rel string) bool {
+		// memsim implements the accessors; everywhere else consumes them.
+		return !matchPrefix(rel, "internal/memsim")
+	},
+	Run: runTierChain,
+}
+
+func runTierChain(p *Pass) {
+	chainVars := chainDerivedVars(p)
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				recv := selectorCall(n, "Node")
+				if recv == nil || len(n.Args) != 1 || !intLiteral(n.Args[0]) {
+					return true
+				}
+				if isNamedType(p.TypeOf(recv), "internal/memsim", "System") {
+					p.Reportf(n.Pos(),
+						"positional node lookup %s.Node(%s) assumes node IDs follow tier order; use System.Chain, System.NodeByKind, or Machine.Tier",
+						exprString(recv), exprString(n.Args[0]))
+				}
+			case *ast.IndexExpr:
+				if !intLiteral(n.Index) || !isMemsimNodeSlice(p.TypeOf(n.X)) {
+					return true
+				}
+				if isChainExpr(p, n.X, chainVars) {
+					return true
+				}
+				p.Reportf(n.Pos(),
+					"positional index %s of a raw memsim node list bypasses the kind-ranked chain; use System.Chain()[%s] or Machine.Tier(%s)",
+					exprString(n), exprString(n.Index), exprString(n.Index))
+			}
+			return true
+		})
+	}
+}
+
+// intLiteral reports whether e is a plain integer literal.
+func intLiteral(e ast.Expr) bool {
+	bl, ok := ast.Unparen(e).(*ast.BasicLit)
+	return ok && bl.Kind == token.INT
+}
+
+// isMemsimNodeSlice reports whether t is []*memsim.Node (or an array).
+func isMemsimNodeSlice(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	var elem types.Type
+	switch u := t.Underlying().(type) {
+	case *types.Slice:
+		elem = u.Elem()
+	case *types.Array:
+		elem = u.Elem()
+	default:
+		return false
+	}
+	return isNamedType(elem, "internal/memsim", "Node")
+}
+
+// isChainExpr reports whether e is a Chain() call or a variable/field
+// the package assigns from one.
+func isChainExpr(p *Pass, e ast.Expr, chainVars map[types.Object]bool) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.CallExpr:
+		return selectorCall(e, "Chain") != nil
+	case *ast.Ident:
+		return chainVars[p.Info.ObjectOf(e)]
+	case *ast.SelectorExpr:
+		return chainVars[p.Info.ObjectOf(e.Sel)]
+	}
+	return false
+}
+
+// chainDerivedVars collects the objects of variables and struct fields
+// assigned from a Chain() call anywhere in the package, so both
+// `chain := m.Chain(); chain[0]` and the Manager's cached
+// `m.tiers = m.mach.Chain(); m.tiers[0]` keep working without a
+// suppression. Field objects are canonical per package, so an
+// assignment in the constructor covers uses in every other file.
+func chainDerivedVars(p *Pass) map[types.Object]bool {
+	vars := make(map[types.Object]bool)
+	record := func(lhs ast.Expr, rhs ast.Expr) {
+		call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+		if !ok || selectorCall(call, "Chain") == nil {
+			return
+		}
+		var obj types.Object
+		switch lhs := ast.Unparen(lhs).(type) {
+		case *ast.Ident:
+			obj = p.Info.ObjectOf(lhs)
+		case *ast.SelectorExpr:
+			obj = p.Info.ObjectOf(lhs.Sel)
+		}
+		if obj != nil {
+			vars[obj] = true
+		}
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				if len(n.Lhs) == len(n.Rhs) {
+					for i := range n.Rhs {
+						record(n.Lhs[i], n.Rhs[i])
+					}
+				}
+			case *ast.ValueSpec:
+				if len(n.Names) == len(n.Values) {
+					for i := range n.Values {
+						record(n.Names[i], n.Values[i])
+					}
+				}
+			}
+			return true
+		})
+	}
+	return vars
+}

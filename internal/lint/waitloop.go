@@ -1,0 +1,218 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// WaitLoop enforces the condition-variable discipline behind the
+// condvar-parked serve.Loop pattern (and the staging protocol's IO
+// loops): every Cond.Wait — sync.Cond or sim.Cond — must
+//
+//  1. sit inside a for loop that re-checks its predicate (a loop
+//     condition, or an if-guard inside an infinite loop): wake-ups are
+//     hints, not guarantees, and a straight-line Wait turns a spurious
+//     or stale wake-up into lost work or a hang;
+//  2. run with the condition's paired mutex locked in the same
+//     function, resolved from the package's NewCond(&mu) pairings —
+//     sync.Cond.Wait without the lock panics only at run time, and
+//     only on the path that actually parks.
+//
+// locksafe already checks cross-mutex interactions for internal/core;
+// waitloop is the loop-shape half, and it applies everywhere.
+var WaitLoop = &Analyzer{
+	Name: "waitloop",
+	Doc:  "require every Cond.Wait to sit in a predicate-re-checking for loop under its paired mutex",
+	Run:  runWaitLoop,
+}
+
+func runWaitLoop(p *Pass) {
+	owners := newCondOwners(p, "internal/sim", "sync")
+	for _, f := range p.Files {
+		var stack []ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			recv := selectorCall(call, "Wait")
+			if recv == nil || !isCondExpr(p, recv) {
+				return true
+			}
+			checkWaitShape(p, call, recv, stack, owners)
+			return true
+		})
+	}
+}
+
+func isCondExpr(p *Pass, e ast.Expr) bool {
+	t := p.TypeOf(e)
+	return isNamedType(t, "internal/sim", "Cond") || isNamedType(t, "sync", "Cond")
+}
+
+// newCondOwners pairs condition variables with their owning mutexes by
+// scanning the package for NewCond(&mu) assignments from any of the
+// given packages (internal/sim's constructor and sync.NewCond share
+// the shape). The cond's field/variable base name maps to the mutex's
+// base name, so indexed per-PE pairs (ioCond[i] / ioMu[i]) resolve too.
+func newCondOwners(p *Pass, pkgs ...string) map[string]string {
+	owners := make(map[string]string)
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != len(as.Rhs) {
+				return true
+			}
+			for i, rhs := range as.Rhs {
+				call, ok := rhs.(*ast.CallExpr)
+				if !ok || len(call.Args) != 1 {
+					continue
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok || sel.Sel.Name != "NewCond" {
+					continue
+				}
+				pkg := p.pkgOf(sel.X)
+				matched := false
+				for _, want := range pkgs {
+					if isPkgPath(pkg, want) {
+						matched = true
+						break
+					}
+				}
+				if !matched {
+					continue
+				}
+				arg := call.Args[0]
+				if ue, ok := arg.(*ast.UnaryExpr); ok && ue.Op == token.AND {
+					arg = ue.X
+				}
+				owners[baseName(as.Lhs[i])] = baseName(arg)
+			}
+			return true
+		})
+	}
+	return owners
+}
+
+// checkWaitShape validates one Cond.Wait against the loop and mutex
+// rules, given the ancestor stack from the file root to the call.
+func checkWaitShape(p *Pass, call *ast.CallExpr, recv ast.Expr, stack []ast.Node, owners map[string]string) {
+	// Walk the ancestors innermost-first up to the enclosing function,
+	// looking for the nearest loop and whether a condition (if/switch)
+	// guards the Wait inside it.
+	var loop ast.Stmt
+	guarded := false
+	var enclosing ast.Node // innermost FuncDecl or FuncLit body owner
+scan:
+	for i := len(stack) - 2; i >= 0; i-- {
+		switch n := stack[i].(type) {
+		case *ast.IfStmt, *ast.SwitchStmt:
+			guarded = true
+		case *ast.ForStmt:
+			loop = n
+			enclosingAt(stack, i, &enclosing)
+			break scan
+		case *ast.RangeStmt:
+			loop = n
+			enclosingAt(stack, i, &enclosing)
+			break scan
+		case *ast.FuncDecl, *ast.FuncLit:
+			enclosing = n
+			break scan
+		}
+	}
+	name := exprString(recv)
+	switch l := loop.(type) {
+	case nil:
+		p.Reportf(call.Pos(),
+			"%s.Wait outside a for loop: wake-ups are hints; re-check the predicate in a loop", name)
+	case *ast.RangeStmt:
+		p.Reportf(call.Pos(),
+			"%s.Wait inside a range loop cannot re-check its predicate; use a for loop over the condition", name)
+	case *ast.ForStmt:
+		// An infinite loop is fine when something inside it checks a
+		// predicate: an if/switch wrapping the Wait, or one anywhere in
+		// the loop body (the serve.Loop shape tests the exit condition
+		// as a sibling of the Wait).
+		if l.Cond == nil && !guarded && !bodyHasBranch(l.Body) {
+			p.Reportf(call.Pos(),
+				"%s.Wait in an unconditional for loop without a predicate check; guard the wait with the condition it waits for", name)
+		}
+	}
+
+	// Mutex pairing: the owning mutex must be locked in the same
+	// function, lexically before the wait.
+	owner, known := owners[baseName(recv)]
+	if !known {
+		return
+	}
+	if enclosing == nil {
+		enclosingAt(stack, len(stack)-1, &enclosing)
+	}
+	var body *ast.BlockStmt
+	switch fn := enclosing.(type) {
+	case *ast.FuncDecl:
+		body = fn.Body
+	case *ast.FuncLit:
+		body = fn.Body
+	}
+	if body == nil {
+		return
+	}
+	locked := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if locked {
+			return false
+		}
+		c, ok := n.(*ast.CallExpr)
+		if !ok || c.Pos() >= call.Pos() {
+			return true
+		}
+		if r := selectorCall(c, "Lock"); r != nil && baseName(r) == owner {
+			locked = true
+		}
+		return true
+	})
+	if !locked {
+		p.Reportf(call.Pos(),
+			"%s.Wait without locking its paired mutex %s in this function", name, owner)
+	}
+}
+
+// bodyHasBranch reports whether a loop body contains an if or switch
+// outside nested function literals — the predicate re-check that makes
+// an unconditional wait loop sound.
+func bodyHasBranch(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.IfStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt:
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// enclosingAt fills enc with the innermost FuncDecl/FuncLit at or above
+// stack index i, if not already set.
+func enclosingAt(stack []ast.Node, i int, enc *ast.Node) {
+	if *enc != nil {
+		return
+	}
+	for j := i; j >= 0; j-- {
+		switch stack[j].(type) {
+		case *ast.FuncDecl, *ast.FuncLit:
+			*enc = stack[j]
+			return
+		}
+	}
+}

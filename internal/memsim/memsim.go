@@ -223,8 +223,12 @@ func (s *System) Node(id int) *Node {
 	return s.nodes[id]
 }
 
-// Nodes returns all nodes in id order.
-func (s *System) Nodes() []*Node { return s.nodes }
+// Nodes returns a copy of the node list in id order; mutating it does
+// not affect the system. Use NumNodes for allocation-free sizing.
+func (s *System) Nodes() []*Node { return append([]*Node(nil), s.nodes...) }
+
+// NumNodes returns the number of nodes in the system.
+func (s *System) NumNodes() int { return len(s.nodes) }
 
 // NodeByKind returns the first node of the given kind, or nil.
 func (s *System) NodeByKind(k NodeKind) *Node {

@@ -224,8 +224,16 @@ func (a *Allocator) noteAlloc() error {
 // Size returns the buffer's size in bytes.
 func (b *Buffer) Size() int64 { return b.size }
 
-// Parts returns the buffer's per-node layout.
-func (b *Buffer) Parts() []Part { return b.parts }
+// Parts returns a copy of the buffer's per-node layout; mutating it
+// does not affect the buffer. Hot paths iterate with NumParts/Part to
+// avoid the per-call allocation.
+func (b *Buffer) Parts() []Part { return append([]Part(nil), b.parts...) }
+
+// NumParts returns the number of layout parts.
+func (b *Buffer) NumParts() int { return len(b.parts) }
+
+// Part returns the i-th layout part by value.
+func (b *Buffer) Part(i int) Part { return b.parts[i] }
 
 // Freed reports whether the buffer has been freed.
 func (b *Buffer) Freed() bool { return b.freed }

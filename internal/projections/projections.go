@@ -147,12 +147,14 @@ func (t *Tracer) Begin(pe int, cat Category, label string) func() {
 	return func() { t.Add(pe, start, t.eng.Now(), cat, label) }
 }
 
-// Spans returns all recorded spans in recording order.
+// Spans returns a copy of all recorded spans in recording order. The
+// copy matters: Reset truncates the backing array in place, so an
+// aliased return would be silently overwritten by post-Reset spans.
 func (t *Tracer) Spans() []Span {
 	if t == nil {
 		return nil
 	}
-	return t.spans
+	return append([]Span(nil), t.spans...)
 }
 
 // Reset discards all recorded spans (e.g. after warm-up iterations).

@@ -401,7 +401,7 @@ func (m *Machine) Chain() []*memsim.Node { return m.Mem.Chain() }
 func (m *Machine) Tier(i int) *memsim.Node { return m.Chain()[i] }
 
 // NumTiers returns the chain length.
-func (m *Machine) NumTiers() int { return len(m.Mem.Nodes()) }
+func (m *Machine) NumTiers() int { return m.Mem.NumNodes() }
 
 // HBM returns the near-memory node, resolved by kind — never by node
 // ID, so machines whose specs list nodes in any order still find the
