@@ -3,7 +3,7 @@ GO ?= go
 # gate does not drift with upstream.
 STATICCHECK_VERSION ?= 2024.1.1
 
-.PHONY: ci vet build test race audit lint hmlint staticcheck lint-fix-check fuzz bench bench-adapt bench-evict bench-trace bench-engine bench-serve bench-tiers
+.PHONY: ci vet build test race audit lint hmlint staticcheck lint-fix-check fuzz bench bench-adapt bench-evict bench-trace bench-engine bench-serve bench-tiers bench-tune bench-check
 
 # ci is the gate: static checks (vet + hmlint + staticcheck), build,
 # race-enabled tests, and the audit-enabled figure sweep (every
@@ -114,3 +114,34 @@ bench-serve:
 # gate exits nonzero.
 bench-tiers:
 	$(GO) run ./cmd/hmrepro -tiers -bench-tiers BENCH_tiers.json
+
+# bench-tune regenerates the committed closed-loop tuning snapshot from
+# the full-scale X15 figure: the offline autotuner's verdict over a
+# capture of the X10 shift workload, and warm-started vs cold
+# time-to-settle on every X9 operating point. Fully virtual-time: two
+# consecutive runs are byte-identical, and a failed gate (warm start
+# not strictly faster somewhere, or a non-lookahead verdict) exits
+# nonzero.
+bench-tune:
+	$(GO) run ./cmd/hmrepro -tune -bench-tune BENCH_tune.json
+
+# bench-check guards the committed deterministic snapshots against
+# drift: regenerate each into a temp file and fail on any byte
+# difference from the committed copy. Only the virtual-time snapshots
+# are checked — BENCH_engine.json is wall-clock by design. Runs the
+# full-scale figures, so it is the slow, thorough gate (CI runs the
+# small-scale sweep separately).
+bench-check:
+	@tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) run ./cmd/hmrepro -adapt -bench-adapt $$tmp/BENCH_adapt.json >/dev/null; \
+	$(GO) run ./cmd/hmrepro -evict -bench-evict $$tmp/BENCH_evict.json >/dev/null; \
+	$(GO) run ./cmd/hmrepro -replay -bench-trace $$tmp/BENCH_trace.json >/dev/null; \
+	$(GO) run ./cmd/hmrepro -serve -bench-serve $$tmp/BENCH_serve.json >/dev/null; \
+	$(GO) run ./cmd/hmrepro -tiers -bench-tiers $$tmp/BENCH_tiers.json >/dev/null; \
+	$(GO) run ./cmd/hmrepro -tune -bench-tune $$tmp/BENCH_tune.json >/dev/null; \
+	rc=0; \
+	for f in BENCH_adapt.json BENCH_evict.json BENCH_trace.json BENCH_serve.json BENCH_tiers.json BENCH_tune.json; do \
+		if ! cmp -s "$$f" "$$tmp/$$f"; then echo "bench-check: $$f drifted from a fresh run"; rc=1; fi; \
+	done; \
+	[ $$rc -eq 0 ] && echo "bench-check: committed snapshots match fresh runs"; \
+	exit $$rc

@@ -1,6 +1,6 @@
 // Command hmrepro regenerates every table and figure of the paper's
 // evaluation (Figs. 1, 2, 5-6, 7, 8, 9) plus the extension experiments
-// (X1-X4), printing one text table per figure.
+// (X1-X15), printing one text table per figure.
 //
 // Usage:
 //
@@ -10,6 +10,7 @@
 //	        [-engine] [-bench-engine file]
 //	        [-serve] [-bench-serve file]
 //	        [-tiers] [-bench-tiers file]
+//	        [-tune] [-bench-tune file]
 //
 // With -audit every simulated run carries the invariant auditor from
 // internal/audit: conservation laws are checked continuously, the
@@ -56,6 +57,17 @@
 // extension sweep. -bench-tiers writes its JSON snapshot (implies
 // -tiers); whenever X14 runs, a failed widening-advantage gate
 // (Pass() error) makes the command exit nonzero.
+//
+// -tune runs only X15, the closed tuning loop: the trace-driven offline
+// autotuner (internal/tune) over a capture of the X10 shift workload,
+// plus the warm-started online controller (adapt.Config.Warm) against
+// the cold climb on every X9 operating point. X15 is fully virtual-time
+// and deterministic, so it is part of the default extension sweep.
+// -bench-tune writes its JSON snapshot (implies -tune); whenever X15
+// runs, a failed gate — a warm start not settling strictly earlier than
+// the cold climb on some point, or the offline search not recommending
+// the lookahead victim policy X10 measures — makes the command exit
+// nonzero.
 package main
 
 import (
@@ -74,7 +86,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("hmrepro: ")
 	scaleName := flag.String("scale", "full", "experiment scale: full (paper sizes) or small (1/8 slice)")
-	skipExt := flag.Bool("skip-ext", false, "skip the extension experiments X1-X4")
+	skipExt := flag.Bool("skip-ext", false, "skip the extension experiments X1-X15")
 	auditOn := flag.Bool("audit", false, "enable the invariant auditor and print JSON metrics per run")
 	adaptOnly := flag.Bool("adapt", false, "run only X9: the online adaptive controller vs fixed configurations")
 	benchAdapt := flag.String("bench-adapt", "", "write the X9 result to this file as a JSON benchmark snapshot")
@@ -90,6 +102,8 @@ func main() {
 	benchServe := flag.String("bench-serve", "", "write the X13 result to this file as a JSON benchmark snapshot (implies -serve)")
 	tiersOnly := flag.Bool("tiers", false, "run only X14: victim policies across 2-/3-/4-tier memory chains")
 	benchTiers := flag.String("bench-tiers", "", "write the X14 result to this file as a JSON benchmark snapshot (implies -tiers)")
+	tuneOnly := flag.Bool("tune", false, "run only X15: offline autotuner + warm-started online adaptation")
+	benchTune := flag.String("bench-tune", "", "write the X15 result to this file as a JSON benchmark snapshot (implies -tune)")
 	flag.Parse()
 
 	scale, err := parseScale(*scaleName)
@@ -165,6 +179,16 @@ func main() {
 		return r.Table(), nil
 	}
 
+	var x15 *exp.X15Result
+	runX15 := func() (fmt.Stringer, error) {
+		r, err := exp.RunX15(scale)
+		if err != nil {
+			return nil, err
+		}
+		x15 = r
+		return r.Table(), nil
+	}
+
 	type figure struct {
 		name string
 		run  func() (fmt.Stringer, error)
@@ -192,6 +216,7 @@ func main() {
 			figure{"X11", runX11},
 			figure{"X13", runX13},
 			figure{"X14", runX14},
+			figure{"X15", runX15},
 		)
 	}
 	if *adaptOnly {
@@ -211,6 +236,9 @@ func main() {
 	}
 	if *tiersOnly || *benchTiers != "" {
 		figures = []figure{{"X14", runX14}}
+	}
+	if *tuneOnly || *benchTune != "" {
+		figures = []figure{{"X15", runX15}}
 	}
 
 	fmt.Printf("hetmem reproduction — %s scale\n\n", scale)
@@ -308,6 +336,19 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "[bench snapshot written to %s]\n", *benchTiers)
 	}
+	if *benchTune != "" {
+		if x15 == nil {
+			log.Fatal("-bench-tune needs the X15 figure (pass -tune)")
+		}
+		out, err := json.MarshalIndent(x15.Bench(), "", "  ")
+		if err != nil {
+			log.Fatalf("bench-tune: %v", err)
+		}
+		if err := os.WriteFile(*benchTune, append(out, '\n'), 0o644); err != nil {
+			log.Fatalf("bench-tune: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "[bench snapshot written to %s]\n", *benchTune)
+	}
 	if *traceOut != "" {
 		if x11 == nil || x11.Sample == nil {
 			log.Fatal("-trace needs the X11 figure (drop -skip-ext or pass -replay)")
@@ -332,6 +373,11 @@ func main() {
 	if x14 != nil {
 		if err := x14.Pass(); err != nil {
 			log.Fatalf("X14: widening-advantage gate failed: %v", err)
+		}
+	}
+	if x15 != nil {
+		if err := x15.Pass(); err != nil {
+			log.Fatalf("X15: closed-loop tuning gate failed: %v", err)
 		}
 	}
 }

@@ -8,22 +8,34 @@
 //	hmtrace schedule trace.jsonl
 //	hmtrace diff a.jsonl b.jsonl
 //	hmtrace whatif [-strategy name] [-evict-policy name] [-evict-lazy=bool]
-//	        [-io-threads n] [-prefetch-depth n] [-hbm-reserve bytes] trace.jsonl
+//	        [-io-threads n] [-prefetch-depth n] [-hbm-reserve bytes]
+//	        [-abandon-above seconds] trace.jsonl
+//	hmtrace tune [-o tune.json] [-no-abandon] trace.jsonl
 //
 // summary prints the terminal digest: per-lane occupancy, the share of
 // staged time hidden under compute, and the exposed staging time. Given
 // a directory (hetmemd's -capture-dir), it summarizes every *.jsonl
 // capture in file-name order and closes with a per-tenant aggregate
-// table; -session restricts the report to one hetmemd session id.
+// table; -session restricts the report to one hetmemd session id. When
+// the capture (or directory) sits next to a tune.json artifact whose
+// digest names one of the summarized captures, summary also prints the
+// tune provenance — which knobs the offline autotuner recommended, and
+// from which capture the verdict was computed.
 // export converts the capture to Chrome trace_event JSON (load it in a
 // trace viewer: one track per PE plus the IO-thread lanes). schedule
 // prints the canonical per-task schedule used by the replay-fidelity
 // invariant. whatif reconstructs the captured workload and re-drives it
 // through the real scheduler under overridden knobs, then prints a
-// recorded-vs-replayed comparison table. diff aligns two captures
-// task-by-task and names the first divergent event — the tool to reach
-// for when a determinism check reports two runs that should have been
-// byte-identical but were not.
+// recorded-vs-replayed comparison table; -abandon-above cuts the replay
+// off as soon as its makespan provably reaches the bound (the answer
+// becomes "at least that slow" — cheap for ruling configurations out).
+// tune runs the offline autotuner over the capture: a grid-then-climb
+// search of the retunable knob space, every candidate judged by real-
+// scheduler replay, and writes the versioned RecommendedConfig artifact
+// (default: tune.json next to the capture, where summary finds it).
+// diff aligns two captures task-by-task and names the first divergent
+// event — the tool to reach for when a determinism check reports two
+// runs that should have been byte-identical but were not.
 //
 // Exit status: 0 on success; 2 when the capture is corrupt or
 // truncated — the readable prefix is still processed and reported
@@ -43,6 +55,7 @@ import (
 
 	"github.com/hetmem/hetmem/internal/core"
 	"github.com/hetmem/hetmem/internal/trace"
+	"github.com/hetmem/hetmem/internal/tune"
 )
 
 func main() {
@@ -59,6 +72,7 @@ commands:
   schedule   print the canonical per-task schedule
   diff       align two captures task-by-task and name the first divergence
   whatif     replay the workload under different knobs and compare
+  tune       search the knob space by replay; write a RecommendedConfig
 `
 
 // run is the testable entry point; it returns the process exit code.
@@ -79,6 +93,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return cmdDiff(rest, stdout, stderr)
 	case "whatif":
 		return cmdWhatIf(rest, stdout, stderr)
+	case "tune":
+		return cmdTune(rest, stdout, stderr)
 	case "-h", "-help", "--help", "help":
 		fmt.Fprint(stdout, usage)
 		return 0
@@ -144,7 +160,40 @@ func cmdSummary(args []string, stdout, stderr io.Writer) int {
 	}
 	printSessionHeader(stdout, c)
 	fmt.Fprint(stdout, trace.Summarize(c).String())
+	if rc := tuneArtifactFor(filepath.Dir(path)); rc != nil && rc.CaptureDigest == tune.Digest(c) {
+		printTuneProvenance(stdout, rc, filepath.Base(path))
+	}
 	return exitCode(damaged)
+}
+
+// tuneArtifactFor loads the tune artifact conventionally stored next to
+// the captures (tune.ArtifactName inside dir), or nil when there is
+// none (or it does not parse — provenance is garnish, never an error).
+func tuneArtifactFor(dir string) *tune.RecommendedConfig {
+	rc, err := tune.Load(filepath.Join(dir, tune.ArtifactName))
+	if err != nil {
+		return nil
+	}
+	return rc
+}
+
+// printTuneProvenance renders an artifact's verdict under a summary.
+// match names the summarized capture whose digest the artifact carries
+// ("" = the verdict came from a capture not in this report).
+func printTuneProvenance(w io.Writer, rc *tune.RecommendedConfig, match string) {
+	fmt.Fprintf(w, "\ntune provenance (%s):\n", tune.ArtifactName)
+	fmt.Fprintf(w, "  recommends %s (predicted %.6f s", knobsBrief(rc.Knobs), rc.PredictedMakespanS)
+	if rc.RecordedMakespanS > 0 {
+		fmt.Fprintf(w, ", recorded %.6f s", rc.RecordedMakespanS)
+	}
+	fmt.Fprint(w, ")\n")
+	fmt.Fprintf(w, "  search: %d candidates, %d replays (%d abandoned early, %d memo hits)\n",
+		len(rc.Trace), rc.Replays, rc.Abandoned, rc.MemoHits)
+	if match != "" {
+		fmt.Fprintf(w, "  computed from %s (digest %.12s)\n", match, rc.CaptureDigest)
+	} else {
+		fmt.Fprintf(w, "  computed from digest %.12s (not among these captures)\n", rc.CaptureDigest)
+	}
 }
 
 // sessionOf returns the session id stamped by hetmemd's recorder, or ""
@@ -192,6 +241,7 @@ func summarizeDir(dir, session string, stdout, stderr io.Writer) int {
 	}
 	agg := map[string]*tenantAgg{}
 	var tenants []string
+	digests := map[string]string{} // capture digest -> file base name
 	matched, anyDamaged := 0, false
 	for _, p := range paths {
 		c, damaged, ok := load(p, stderr)
@@ -202,6 +252,7 @@ func summarizeDir(dir, session string, stdout, stderr io.Writer) int {
 		if session != "" && sessionOf(c) != session {
 			continue
 		}
+		digests[tune.Digest(c)] = filepath.Base(p)
 		matched++
 		anyDamaged = anyDamaged || damaged
 		if matched > 1 {
@@ -243,6 +294,9 @@ func summarizeDir(dir, session string, stdout, stderr io.Writer) int {
 		a := agg[tn]
 		fmt.Fprintf(stdout, "%-12s %8d %10d %9d %10d %14.6f %14.6f\n",
 			tn, a.sessions, a.tasks, a.fetches, a.evictions, a.exposed, a.makespan)
+	}
+	if rc := tuneArtifactFor(dir); rc != nil {
+		printTuneProvenance(stdout, rc, digests[rc.CaptureDigest])
 	}
 	return exitCode(anyDamaged)
 }
@@ -347,6 +401,8 @@ func cmdWhatIf(args []string, stdout, stderr io.Writer) int {
 	ioThreads := fs.Int("io-threads", 0, "override the IO thread count (single strategy)")
 	depth := fs.Int("prefetch-depth", 0, "override the prefetch depth (multi strategy; 0 = unlimited)")
 	reserve := fs.Int64("hbm-reserve", 0, "override the HBM reserve in bytes")
+	abandonAbove := fs.Float64("abandon-above", 0,
+		"cut the replay off once its makespan provably reaches this many seconds (0 = replay fully)")
 	if fs.Parse(args) != nil {
 		return 1
 	}
@@ -358,13 +414,15 @@ func cmdWhatIf(args []string, stdout, stderr io.Writer) int {
 	if !ok {
 		return 2
 	}
-	w, err := trace.Reconstruct(c)
+	// The evaluator is the same replay path the tune search runs on; the
+	// only whatif-specific part left is flag parsing and the table.
+	ev, err := tune.NewEvaluator(c)
 	if err != nil {
 		fmt.Fprintf(stderr, "hmtrace whatif: %v\n", err)
 		return 2
 	}
 
-	knobs := w.Meta.Knobs
+	knobs := ev.Base()
 	set := map[string]bool{}
 	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
 	if set["strategy"] {
@@ -395,7 +453,7 @@ func cmdWhatIf(args []string, stdout, stderr io.Writer) int {
 		knobs.HBMReserve = *reserve
 	}
 
-	res, err := w.Replay(trace.ReplayConfig{Knobs: &knobs})
+	res, err := ev.Replay(knobs, *abandonAbove)
 	if err != nil {
 		fmt.Fprintf(stderr, "hmtrace whatif: replay: %v\n", err)
 		if errors.Is(err, trace.ErrTierMismatch) {
@@ -405,9 +463,69 @@ func cmdWhatIf(args []string, stdout, stderr io.Writer) int {
 		}
 		return 1
 	}
+	if res.Abandoned {
+		fmt.Fprintf(stdout, "replay abandoned at %.6fs: under %s the makespan is provably >= %.6f s\n",
+			res.Makespan, knobsBrief(knobs), res.Makespan)
+		if st := c.Stats(); st != nil {
+			fmt.Fprintf(stdout, "(recorded makespan was %.6f s)\n", st.Makespan)
+		}
+		return exitCode(damaged)
+	}
 	printComparison(stdout,
 		trace.OutcomeOf("recorded", c),
 		trace.OutcomeOf("replayed", res.Capture))
+	return exitCode(damaged)
+}
+
+func cmdTune(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("tune", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	out := fs.String("o", "", "artifact destination ('-' for stdout; default tune.json next to the capture)")
+	noAbandon := fs.Bool("no-abandon", false, "replay every candidate to completion (slower, same verdict)")
+	if fs.Parse(args) != nil {
+		return 1
+	}
+	path, ok := onePath(fs, stderr)
+	if !ok {
+		return 1
+	}
+	c, damaged, ok := load(path, stderr)
+	if !ok {
+		return 2
+	}
+	rc, err := tune.Tune(c, tune.Config{NoAbandon: *noAbandon})
+	if err != nil {
+		fmt.Fprintf(stderr, "hmtrace tune: %v\n", err)
+		if errors.Is(err, trace.ErrTierMismatch) {
+			return 2
+		}
+		return 1
+	}
+	dest := *out
+	if dest == "" {
+		dest = filepath.Join(filepath.Dir(path), tune.ArtifactName)
+	}
+	if dest == "-" {
+		if _, err := stdout.Write(rc.Bytes()); err != nil {
+			fmt.Fprintf(stderr, "hmtrace tune: %v\n", err)
+			return 1
+		}
+		return exitCode(damaged)
+	}
+	if err := rc.Save(dest); err != nil {
+		fmt.Fprintf(stderr, "hmtrace tune: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "capture    %s (digest %.12s)\n", filepath.Base(path), rc.CaptureDigest)
+	fmt.Fprintf(stdout, "recorded   %-40s %14.6f s\n", knobsBrief(rc.RecordedKnobs), rc.RecordedMakespanS)
+	fmt.Fprintf(stdout, "recommends %-40s %14.6f s\n", knobsBrief(rc.Knobs), rc.PredictedMakespanS)
+	if rc.RecordedMakespanS > 0 {
+		fmt.Fprintf(stdout, "delta      %+.2f%%\n",
+			(rc.PredictedMakespanS-rc.RecordedMakespanS)/rc.RecordedMakespanS*100)
+	}
+	fmt.Fprintf(stdout, "search     %d candidates, %d replays (%d abandoned early, %d memo hits)\n",
+		len(rc.Trace), rc.Replays, rc.Abandoned, rc.MemoHits)
+	fmt.Fprintf(stderr, "[recommended config written to %s]\n", dest)
 	return exitCode(damaged)
 }
 

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -12,6 +13,7 @@ import (
 	"github.com/hetmem/hetmem/internal/exp"
 	"github.com/hetmem/hetmem/internal/kernels"
 	"github.com/hetmem/hetmem/internal/trace"
+	"github.com/hetmem/hetmem/internal/tune"
 )
 
 // captureFile records a Small-scale stencil run into dir and returns
@@ -325,4 +327,107 @@ func TestUsageErrors(t *testing.T) {
 	if code != 0 || !strings.Contains(out, "usage: hmtrace") {
 		t.Fatalf("help: exit %d out %q", code, out)
 	}
+}
+
+// TestTuneCommand covers the offline-autotuner CLI surface: the
+// artifact lands next to the capture (where summary picks it up as
+// provenance), two runs are byte-identical, and the recommended knobs
+// feed straight back into whatif.
+func TestTuneCommand(t *testing.T) {
+	dir := t.TempDir()
+	path := captureFile(t, dir)
+
+	code, out, errb := exec("tune", path)
+	if code != 0 {
+		t.Fatalf("tune: exit %d, want 0\nstderr: %s", code, errb)
+	}
+	for _, want := range []string{"recorded", "recommends", "search"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("tune output missing %q:\n%s", want, out)
+		}
+	}
+	artifact := filepath.Join(dir, tune.ArtifactName)
+	rc, err := tune.Load(artifact)
+	if err != nil {
+		t.Fatalf("tune wrote no loadable artifact: %v", err)
+	}
+
+	t.Run("byte identical", func(t *testing.T) {
+		a := filepath.Join(dir, "a.json")
+		b := filepath.Join(dir, "b.json")
+		if code, _, errb := exec("tune", "-o", a, path); code != 0 {
+			t.Fatalf("tune -o a: exit %d\n%s", code, errb)
+		}
+		if code, _, errb := exec("tune", "-o", b, path); code != 0 {
+			t.Fatalf("tune -o b: exit %d\n%s", code, errb)
+		}
+		ba, err := os.ReadFile(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bb, err := os.ReadFile(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(ba, bb) {
+			t.Fatalf("two tune runs differ:\n%s\nvs\n%s", ba, bb)
+		}
+	})
+
+	t.Run("summary provenance", func(t *testing.T) {
+		code, out, _ := exec("summary", path)
+		if code != 0 {
+			t.Fatalf("summary: exit %d", code)
+		}
+		for _, want := range []string{"tune provenance", "recommends", "computed from capture.jsonl"} {
+			if !strings.Contains(out, want) {
+				t.Errorf("summary missing %q:\n%s", want, out)
+			}
+		}
+		code, out, _ = exec("summary", dir)
+		if code != 0 {
+			t.Fatalf("summary dir: exit %d", code)
+		}
+		if !strings.Contains(out, "tune provenance") {
+			t.Errorf("directory summary missing provenance:\n%s", out)
+		}
+	})
+
+	t.Run("whatif recommended", func(t *testing.T) {
+		args := []string{"whatif", "-evict-policy", rc.Knobs.EvictPolicy}
+		if rc.Knobs.PrefetchDepth > 0 {
+			args = append(args, "-prefetch-depth", fmt.Sprint(rc.Knobs.PrefetchDepth))
+		}
+		if rc.Knobs.IOThreads > 0 {
+			args = append(args, "-io-threads", fmt.Sprint(rc.Knobs.IOThreads))
+		}
+		args = append(args, path)
+		code, out, errb := exec(args...)
+		if code != 0 {
+			t.Fatalf("whatif under recommended knobs: exit %d\nstderr: %s", code, errb)
+		}
+		if !strings.Contains(out, "replayed") {
+			t.Errorf("whatif output:\n%s", out)
+		}
+	})
+
+	t.Run("whatif abandon", func(t *testing.T) {
+		code, out, errb := exec("whatif", "-strategy", "single", "-abandon-above", "1e-6", path)
+		if code != 0 {
+			t.Fatalf("abandoning whatif: exit %d\nstderr: %s", code, errb)
+		}
+		if !strings.Contains(out, "provably >=") {
+			t.Errorf("abandoned whatif did not report its lower bound:\n%s", out)
+		}
+	})
+
+	t.Run("stdout artifact", func(t *testing.T) {
+		code, out, _ := exec("tune", "-o", "-", path)
+		if code != 0 {
+			t.Fatalf("tune -o -: exit %d", code)
+		}
+		if !strings.Contains(out, `"version": 1`) {
+			t.Errorf("stdout artifact malformed:\n%.400s", out)
+		}
+	})
 }

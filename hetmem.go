@@ -47,6 +47,7 @@ import (
 	"github.com/hetmem/hetmem/internal/sim"
 	"github.com/hetmem/hetmem/internal/topology"
 	"github.com/hetmem/hetmem/internal/trace"
+	"github.com/hetmem/hetmem/internal/tune"
 )
 
 // --- simulation engine ---
@@ -302,6 +303,32 @@ func ExportChromeTrace(c *TraceCapture, w io.Writer) error { return trace.Export
 
 // ReconstructTrace extracts the replayable workload from a capture.
 func ReconstructTrace(c *TraceCapture) (*TraceWorkload, error) { return trace.Reconstruct(c) }
+
+// --- offline autotuner ---
+
+type (
+	// TuneConfig parameterises an offline tune run (search space,
+	// early-abandon toggle).
+	TuneConfig = tune.Config
+	// TuneSpace is the searched knob space.
+	TuneSpace = tune.Space
+	// TuneEvaluator is the memoizing replay-driven makespan oracle a
+	// search (or a what-if loop) judges knob sets with.
+	TuneEvaluator = tune.Evaluator
+	// RecommendedConfig is the versioned tune verdict artifact.
+	RecommendedConfig = tune.RecommendedConfig
+)
+
+// Tune searches the knob space over a capture by replaying it through
+// the real scheduler and returns the recommended configuration. Feed
+// the verdict's Options() to AdaptConfig.Warm for a warm start.
+func Tune(c *TraceCapture, cfg TuneConfig) (*RecommendedConfig, error) { return tune.Tune(c, cfg) }
+
+// NewTuneEvaluator reconstructs a capture into a reusable evaluator.
+func NewTuneEvaluator(c *TraceCapture) (*TuneEvaluator, error) { return tune.NewEvaluator(c) }
+
+// LoadRecommendedConfig reads and version-checks a tune artifact.
+func LoadRecommendedConfig(path string) (*RecommendedConfig, error) { return tune.Load(path) }
 
 // --- evaluation applications ---
 

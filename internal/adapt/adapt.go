@@ -114,6 +114,18 @@ type Config struct {
 	// working-set shift invalidates the settled verdicts (default
 	// 0.5, i.e. 50% slower per task).
 	ReopenFactor float64
+	// Warm seeds the controller with a recommended configuration (an
+	// offline tune verdict, or a settled verdict from an earlier
+	// session). New applies the retunable knobs — Mode, IOThreads,
+	// PrefetchDepth, EvictLazily, EvictPolicy — before the run starts,
+	// and the controller settles at the first post-warmup window
+	// instead of probing from scratch. The settled-phase guard stays
+	// armed: a mid-run shift that invalidates the warm verdict reopens
+	// a full climb, exactly as it would for a settled cold start.
+	// Non-retunable fields (HBMReserve, SharedWaitQueue, Audit,
+	// Metrics) are ignored — they belong to the run, not the
+	// recommendation.
+	Warm *core.Options
 }
 
 // DefaultConfig returns the defaults described on the fields.
@@ -213,7 +225,18 @@ type Controller struct {
 	triedUp  bool
 	triedDn  bool
 
+	// warmPending marks a warm-started controller that has not settled
+	// yet: the first post-warmup window adopts the warm verdict as its
+	// baseline and settles outright. Cleared on first settle, so a
+	// guard-triggered reopen climbs normally — the shift proved the
+	// warm verdict stale.
+	warmPending bool
+
 	settledAt int // window the climb settled, -1 while running
+	// settledTime is the virtual time of the first settle — the
+	// time-to-settle metric X15 compares across warm and cold starts.
+	// -1 until the controller first settles.
+	settledTime float64
 	// shift detector state (settled-phase guard)
 	settledScore float64 // knob baseline captured at settle time
 	shiftRuns    int     // consecutive windows past the reopen bar
@@ -283,17 +306,33 @@ func New(mg *core.Manager, cfg Config) (*Controller, error) {
 		cfg.ReopenFactor = def.ReopenFactor
 	}
 	c := &Controller{
-		mg:        mg,
-		tr:        mg.Runtime().Tracer(),
-		met:       mg.Metrics(),
-		cfg:       cfg,
-		rng:       rand.New(rand.NewSource(cfg.Seed)),
-		numPEs:    mg.Runtime().NumPEs(),
-		budget:    mg.HBMBudget(),
-		phase:     pWarm,
-		warmLeft:  cfg.WarmupWindows,
-		settledAt: -1,
-		reopenAt:  -1,
+		mg:          mg,
+		tr:          mg.Runtime().Tracer(),
+		met:         mg.Metrics(),
+		cfg:         cfg,
+		rng:         rand.New(rand.NewSource(cfg.Seed)),
+		numPEs:      mg.Runtime().NumPEs(),
+		budget:      mg.HBMBudget(),
+		phase:       pWarm,
+		warmLeft:    cfg.WarmupWindows,
+		settledAt:   -1,
+		settledTime: -1,
+		reopenAt:    -1,
+	}
+	if cfg.Warm != nil {
+		// Overlay only the retunable knobs onto the run's own options,
+		// so a recommendation computed under different HBMReserve /
+		// Audit / Metrics settings cannot trip Retune's invariants.
+		o := mg.Options()
+		o.Mode = cfg.Warm.Mode
+		o.IOThreads = cfg.Warm.IOThreads
+		o.PrefetchDepth = cfg.Warm.PrefetchDepth
+		o.EvictLazily = cfg.Warm.EvictLazily
+		o.EvictPolicy = cfg.Warm.EvictPolicy
+		if err := mg.Retune(o); err != nil {
+			return nil, fmt.Errorf("adapt: warm start: %w", err)
+		}
+		c.warmPending = true
 	}
 	c.buildLadder()
 	return c, nil
@@ -348,6 +387,15 @@ func (c *Controller) Converged() bool { return c.phase == pSettled }
 
 // ConvergedWindow returns the window at which the climb settled, or -1.
 func (c *Controller) ConvergedWindow() int { return c.settledAt }
+
+// SettledTime returns the virtual time at which the controller first
+// settled — the time-to-settle metric X15 compares between warm and
+// cold starts — or -1 if it never settled.
+func (c *Controller) SettledTime() float64 { return c.settledTime }
+
+// WarmStarted reports whether the controller was seeded with a warm
+// configuration (Config.Warm).
+func (c *Controller) WarmStarted() bool { return c.cfg.Warm != nil }
 
 // Reopens returns how many times the settled-phase guard re-opened the
 // climb (mid-run workload shifts detected).
@@ -490,6 +538,15 @@ func (c *Controller) sample(atBarrier bool) {
 		}
 	case pBase:
 		c.knobBase = score
+		if c.warmPending {
+			// Warm start: adopt the recommended config as the settled
+			// verdict without spending probe windows. The settled-phase
+			// guard takes over from here — a shift that invalidates the
+			// recommendation reopens a normal climb.
+			c.record(f, "warm-adopt %s=%d score %.4g (wait %.2f)", c.knobName(), c.knob(), score, f.WaitShare)
+			c.settle(f)
+			return
+		}
 		c.record(f, "baseline %s=%d score %.4g (wait %.2f)", c.knobName(), c.knob(), score, f.WaitShare)
 		c.startProbe(f)
 	case pProbe:
@@ -682,6 +739,10 @@ func (c *Controller) startEvictOrSettle(f Feedback) {
 func (c *Controller) settle(f Feedback) {
 	c.phase = pSettled
 	c.settledAt = f.Window
+	if c.settledTime < 0 {
+		c.settledTime = f.Time
+	}
+	c.warmPending = false
 	c.settledScore = c.knobBase
 	c.shiftRuns = 0
 	o := c.mg.Options()

@@ -95,6 +95,62 @@ func TestStencilDeterministic(t *testing.T) {
 	}
 }
 
+// TestWarmStartSkipsClimb: seeding a controller with a previous run's
+// converged options must adopt them at the first scored window — the
+// warm run settles strictly earlier than the cold climb, lands on the
+// warm configuration, and stays audit-clean.
+func TestWarmStartSkipsClimb(t *testing.T) {
+	cold, env, _ := stencilRun(t, core.DefaultOptions(core.SingleIO), adapt.Config{})
+	assertClean(t, env)
+	if !cold.Converged() {
+		t.Fatalf("cold run did not converge; trace:\n%s", cold.TraceString())
+	}
+	if cold.SettledTime() < 0 {
+		t.Fatalf("cold run converged but reports no settle time")
+	}
+	verdict := cold.FinalOptions()
+
+	warm, wenv, _ := stencilRun(t, core.DefaultOptions(core.SingleIO),
+		adapt.Config{Warm: &verdict})
+	assertClean(t, wenv)
+	if !warm.WarmStarted() {
+		t.Fatalf("controller does not report its warm start")
+	}
+	if !warm.Converged() {
+		t.Fatalf("warm run did not settle; trace:\n%s", warm.TraceString())
+	}
+	if warm.SettledTime() >= cold.SettledTime() {
+		t.Fatalf("warm start settled at %v, cold at %v; want strictly earlier:\n%s",
+			warm.SettledTime(), cold.SettledTime(), warm.TraceString())
+	}
+	got := warm.FinalOptions()
+	if got.Mode != verdict.Mode || got.IOThreads != verdict.IOThreads ||
+		got.PrefetchDepth != verdict.PrefetchDepth || got.EvictLazily != verdict.EvictLazily ||
+		got.EvictPolicy != verdict.EvictPolicy {
+		t.Fatalf("warm run drifted from the verdict before its guard saw a shift:\ngot  %+v\nwant %+v\n%s",
+			got, verdict, warm.TraceString())
+	}
+}
+
+// TestWarmStartRejectsIllegalOptions: a warm verdict naming an invalid
+// retunable combination must fail construction, not corrupt the run.
+func TestWarmStartRejectsIllegalOptions(t *testing.T) {
+	opts := core.DefaultOptions(core.SingleIO)
+	opts.Audit = true
+	env := kernels.NewEnv(kernels.EnvConfig{
+		Spec:   exp.Small.Machine(),
+		NumPEs: 8,
+		Opts:   opts,
+		Trace:  true,
+	})
+	defer env.Close()
+	bad := core.DefaultOptions(core.SingleIO)
+	bad.IOThreads = -3
+	if _, err := adapt.New(env.MG, adapt.Config{Warm: &bad}); err == nil {
+		t.Fatal("accepted a warm verdict with an illegal thread count")
+	}
+}
+
 // TestMatMulObserverSampling: with no barrier structure, the controller
 // samples windows from task completions and still converges cleanly.
 func TestMatMulObserverSampling(t *testing.T) {

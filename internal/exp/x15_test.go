@@ -1,0 +1,40 @@
+package exp
+
+import "testing"
+
+// TestX15SmallGates runs the closed-loop tuning experiment at Small
+// scale and checks its acceptance gates: warm-started adaptation beats
+// the cold climb to settle on every X9 point, and the offline search
+// over the shift capture recommends the lookahead victim policy.
+func TestX15SmallGates(t *testing.T) {
+	r, err := RunX15(Small)
+	if err != nil {
+		t.Fatalf("RunX15: %v", err)
+	}
+	if got := len(r.Points); got != len(Small.StencilReducedSizes())+len(Small.MatMulTotalSizes()) {
+		t.Fatalf("X15 covered %d points, want every X9 point", got)
+	}
+	if err := r.Pass(); err != nil {
+		t.Fatalf("X15 gate: %v\n%s", err, r.Table())
+	}
+	t.Logf("\n%s", r.Table())
+}
+
+// TestX15Deterministic: two runs produce identical tables (all numbers
+// are virtual-time; nothing may leak wall clock or map order).
+func TestX15Deterministic(t *testing.T) {
+	a, err := RunX15(Small)
+	if err != nil {
+		t.Fatalf("RunX15: %v", err)
+	}
+	b, err := RunX15(Small)
+	if err != nil {
+		t.Fatalf("RunX15: %v", err)
+	}
+	if at, bt := a.Table().String(), b.Table().String(); at != bt {
+		t.Fatalf("X15 runs diverged:\n--- run 1\n%s\n--- run 2\n%s", at, bt)
+	}
+	if a.Tune.CaptureDigest != b.Tune.CaptureDigest {
+		t.Fatalf("shift capture digest diverged: %s vs %s", a.Tune.CaptureDigest, b.Tune.CaptureDigest)
+	}
+}

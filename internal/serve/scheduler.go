@@ -319,14 +319,17 @@ func (s *Scheduler) start(sess *Session) {
 		NumPEs: s.cfg.NumPEs,
 		Opts:   sess.opts,
 		Params: charm.DefaultParams(),
-		Seed:   seed,
+		// The controller's feedback loop reads the projections
+		// tracer; without it adapt.New rejects the session outright.
+		Trace: sess.Spec.Adapt,
+		Seed:  seed,
 	})
 	if sess.Spec.Trace {
 		sess.rec = trace.NewSessionRecorder(sess.env.MG, sess.ID, sess.Tenant)
 		sess.rec.Attach()
 	}
 	if sess.Spec.Adapt {
-		ctl, err := adapt.New(sess.env.MG, adapt.Config{})
+		ctl, err := adapt.New(sess.env.MG, adapt.Config{Warm: sess.ten.warm})
 		if err != nil {
 			s.fail(sess, fmt.Sprintf("adapt: %v", err))
 			return
@@ -420,6 +423,10 @@ func (s *Scheduler) finish(sess *Session) {
 	s.completed++
 	sess.ten.completed++
 	sess.ten.makespans = append(sess.ten.makespans, float64(sess.Finished-sess.Arrival))
+	if sess.ctl != nil && sess.ctl.Converged() {
+		o := sess.ctl.FinalOptions()
+		sess.ten.warm = &o
+	}
 	fin := sess.Finished
 	s.terminal(sess, Done, "")
 	sess.Finished = fin
@@ -498,6 +505,9 @@ func (s *Scheduler) assignShares() {
 		for _, sess := range s.running {
 			bw := fabric * float64(counts[sess.Tenant]) / float64(total)
 			sess.env.Mach.Alloc.MemcpyRateCap = bw / float64(sess.ten.running)
+			if sess.rec != nil {
+				sess.rec.LaneAssigned(int(s.windows), counts[sess.Tenant], total, len(s.running))
+			}
 		}
 		return
 	}
@@ -508,6 +518,9 @@ func (s *Scheduler) assignShares() {
 	lane, total := s.lanes.assign(ents, s.cfg.Lanes)
 	for i, sess := range s.running {
 		sess.env.Mach.Alloc.MemcpyRateCap = fabric * float64(lane[i]) / float64(total)
+		if sess.rec != nil {
+			sess.rec.LaneAssigned(int(s.windows), lane[i], total, len(s.running))
+		}
 	}
 }
 

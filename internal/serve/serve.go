@@ -37,6 +37,7 @@ import (
 	"errors"
 	"fmt"
 
+	"github.com/hetmem/hetmem/internal/core"
 	"github.com/hetmem/hetmem/internal/sim"
 	"github.com/hetmem/hetmem/internal/topology"
 )
@@ -164,4 +165,12 @@ type tenant struct {
 	// makespans collects finished sessions' (finish - arrival)
 	// durations for the stats endpoint, in completion order.
 	makespans []float64
+
+	// warm is the converged option set of the tenant's most recently
+	// finished adaptive session. The next Adapt submission seeds its
+	// controller from it (adapt.Config.Warm), skipping the probe
+	// phase — cross-session warm start. Only the retunable knobs are
+	// ever applied, so a different footprint or audit setting on the
+	// next session cannot invalidate it.
+	warm *core.Options
 }

@@ -38,6 +38,14 @@ type chromeSpanArgs struct {
 	Action  string `json:"action,omitempty"`
 }
 
+// chromeLaneArgs renders a LaneAssign event as a stacked counter:
+// lanes granted to this session vs the rest of the pool, so tenant
+// contention reads directly off the counter track height split.
+type chromeLaneArgs struct {
+	Granted int `json:"granted"`
+	Others  int `json:"others"`
+}
+
 type chromeFile struct {
 	TraceEvents     []chromeEvent `json:"traceEvents"`
 	DisplayTimeUnit string        `json:"displayTimeUnit"`
@@ -87,6 +95,9 @@ func ExportChrome(c *Capture, w io.Writer) error {
 			lanes[ev.PE] = true
 			evs = append(evs, chromeEvent{Name: "pressure", Ph: "i", Ts: t, TID: ev.PE, S: "t",
 				Args: &chromeSpanArgs{Task: ev.Task, Bytes: ev.Need}})
+		case *LaneAssign:
+			evs = append(evs, chromeEvent{Name: "io lanes", Ph: "C", Ts: t,
+				Args: &chromeLaneArgs{Granted: ev.Lanes, Others: ev.Total - ev.Lanes}})
 		case *Retune:
 			evs = append(evs, chromeEvent{Name: "retune " + ev.Knobs.Mode, Ph: "i", Ts: t, S: "g"})
 		case *Adapt:

@@ -294,6 +294,20 @@ func appendEvent(b []byte, e Event) ([]byte, bool) {
 		b = strconv.AppendInt(b, ev.Budget, 10)
 		return append(b, '}'), true
 
+	case *LaneAssign:
+		if b, ok = appendHeader(b, &ev.Ev); !ok {
+			return b, false
+		}
+		b = append(b, `,"window":`...)
+		b = strconv.AppendInt(b, int64(ev.Window), 10)
+		b = append(b, `,"lanes":`...)
+		b = strconv.AppendInt(b, int64(ev.Lanes), 10)
+		b = append(b, `,"total":`...)
+		b = strconv.AppendInt(b, int64(ev.Total), 10)
+		b = append(b, `,"active":`...)
+		b = strconv.AppendInt(b, int64(ev.Active), 10)
+		return append(b, '}'), true
+
 	case *Adapt:
 		if b, ok = appendHeader(b, &ev.Ev); !ok {
 			return b, false

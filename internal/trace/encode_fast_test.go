@@ -38,6 +38,7 @@ func TestAppendEventMatchesJSON(t *testing.T) {
 			&Evict{Ev: hdr, Lane: 2, Block: "b", Bytes: 9, Dur: f, Forced: false, Policy: "lookahead"},
 			&Evict{Ev: hdr, Lane: 2, Block: "b", Bytes: 9, Dur: f, Forced: true, Policy: "decl", Dst: "NVM"}, // multi-tier: dst recorded
 			&Pressure{Ev: hdr, PE: 4, Task: "stencil[3].iterate", Need: 5, Used: 6, Reserved: 7, Budget: 8},
+			&LaneAssign{Ev: hdr, Window: i, Lanes: i % 4, Total: 8, Active: 2},
 			&Adapt{Ev: hdr, Window: i, Action: "switch:multiio"},
 			&TaskDone{Ev: hdr, ID: int64(i)},
 		)

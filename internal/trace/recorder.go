@@ -226,6 +226,13 @@ func (r *Recorder) TaskDone(t *charm.Task) {
 	r.emit(&TaskDone{ID: r.taskID(t)})
 }
 
+// LaneAssigned records one multi-tenant scheduler window's IO-lane
+// verdict for this session. The serve scheduler calls it from its
+// share-assignment step; nothing else emits the kind.
+func (r *Recorder) LaneAssigned(window, lanes, total, active int) {
+	r.emit(&LaneAssign{Window: window, Lanes: lanes, Total: total, Active: active})
+}
+
 // Decided implements adapt.DecisionSink.
 func (r *Recorder) Decided(d adapt.Decision) {
 	r.emit(&Adapt{Window: d.Window, Action: d.Action})

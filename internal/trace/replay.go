@@ -110,14 +110,26 @@ type ReplayConfig struct {
 	// Knobs overrides the recorded knob set (what-if mode); nil replays
 	// under the recorded configuration.
 	Knobs *Knobs
+	// AbandonAbove, when positive, stops the replay as soon as it is
+	// provable that the makespan cannot beat the bound: only events
+	// strictly earlier than the bound are executed, and if work is still
+	// pending afterwards the true makespan is >= AbandonAbove. Virtual
+	// time only moves forward, so the proof is exact — a search can
+	// discard the candidate without paying for the rest of the replay,
+	// and a candidate strictly faster than the bound always completes.
+	// Zero replays to completion.
+	AbandonAbove sim.Time
 }
 
 // ReplayResult is a finished replay: its own capture (always recorded,
 // so recorded and replayed runs compare symmetrically) and the virtual
-// makespan.
+// makespan. An abandoned partial replay sets Abandoned; its Makespan is
+// then the abandon bound (a proven lower bound on the true makespan,
+// not the makespan itself) and its Capture is the truncated prefix.
 type ReplayResult struct {
-	Capture  *Capture
-	Makespan sim.Time
+	Capture   *Capture
+	Makespan  sim.Time
+	Abandoned bool
 }
 
 // Replay re-drives the workload through the real scheduler: a fresh
@@ -261,7 +273,21 @@ func (w *Workload) Replay(cfg ReplayConfig) (*ReplayResult, error) {
 			arrays[rt.Arr].Send(rt.From, rt.Idx, entries[entryKey{rt.Arr, rt.Entry}], i)
 		}
 	})
-	env.Eng.RunAll()
+	if cfg.AbandonAbove > 0 {
+		// RunBefore (not Run) so the clock is never clamped up to the
+		// bound on a run that finishes under it: the completed path must
+		// report its true makespan.
+		env.Eng.RunBefore(cfg.AbandonAbove)
+		if !env.Eng.Idle() {
+			// Every pending event sits at or beyond the bound, so the
+			// candidate's true makespan is >= AbandonAbove; stop here and
+			// let env.Close (deferred) kill the blocked processes.
+			rec.Finish()
+			return &ReplayResult{Capture: rec.Capture(), Makespan: cfg.AbandonAbove, Abandoned: true}, nil
+		}
+	} else {
+		env.Eng.RunAll()
+	}
 	rec.Finish()
 	return &ReplayResult{Capture: rec.Capture(), Makespan: env.Eng.Now()}, nil
 }

@@ -45,6 +45,7 @@ func allKinds() *trace.Capture {
 		&trace.Pressure{PE: 2, Task: "stencil3d[3].compute_kernel",
 			Need: 1 << 29, Used: 1 << 30, Reserved: 1 << 27, Budget: 1 << 30},
 		&trace.Retune{Knobs: knobs},
+		&trace.LaneAssign{Window: 11, Lanes: 3, Total: 8, Active: 2},
 		&trace.Adapt{Window: 4, Action: "prefetch_depth 1 -> 2"},
 		&trace.TaskDone{ID: 7},
 		&trace.Stats{Makespan: 12.000000000000004, Tasks: 64, Fetches: 100,
@@ -101,6 +102,9 @@ func eventHeader(e trace.Event) *trace.Ev {
 	case *trace.Retune:
 		ev.K = ev.Kind()
 		return &ev.Ev
+	case *trace.LaneAssign:
+		ev.K = ev.Kind()
+		return &ev.Ev
 	case *trace.Adapt:
 		ev.K = ev.Kind()
 		return &ev.Ev
@@ -138,7 +142,7 @@ func TestRoundTripAllKinds(t *testing.T) {
 	}
 	for _, k := range []string{"meta", "handle", "send", "admit", "run-start",
 		"run-end", "kernel", "fetch-start", "fetch-end", "evict", "pressure",
-		"retune", "adapt", "done", "stats"} {
+		"retune", "lanes", "adapt", "done", "stats"} {
 		if !seen[k] {
 			t.Errorf("capture is missing event kind %q", k)
 		}

@@ -286,6 +286,21 @@ type Retune struct {
 
 func (*Retune) Kind() string { return "retune" }
 
+// LaneAssign records one multi-tenant scheduler window's IO-lane
+// verdict for the capturing session: Lanes of the machine's Total IO
+// lanes went to this session's tenant while Active sessions contended.
+// Only hetmemd's scheduler emits the kind — single-workload captures
+// never carry it and stay byte-identical to pre-service recorders.
+type LaneAssign struct {
+	Ev
+	Window int `json:"window"`
+	Lanes  int `json:"lanes"`
+	Total  int `json:"total"`
+	Active int `json:"active"`
+}
+
+func (*LaneAssign) Kind() string { return "lanes" }
+
 // Adapt records one adaptive-controller decision.
 type Adapt struct {
 	Ev
@@ -349,6 +364,8 @@ func newEvent(kind string) (Event, error) {
 		return &Pressure{}, nil
 	case "retune":
 		return &Retune{}, nil
+	case "lanes":
+		return &LaneAssign{}, nil
 	case "adapt":
 		return &Adapt{}, nil
 	case "done":

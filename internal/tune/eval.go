@@ -1,0 +1,144 @@
+package tune
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"github.com/hetmem/hetmem/internal/sim"
+	"github.com/hetmem/hetmem/internal/trace"
+)
+
+// Eval is one judged knob combination: the makespan the replay engine
+// measured for it, or — when Abandoned — the proof that its makespan is
+// at least Bound (the replay was cut off as soon as that was certain).
+type Eval struct {
+	Knobs     trace.Knobs `json:"knobs"`
+	Makespan  sim.Time    `json:"makespan_s"`
+	Abandoned bool        `json:"abandoned,omitempty"`
+	// Bound is the abandon bound the replay ran under (0 = none). An
+	// abandoned Eval proves Makespan >= Bound and nothing tighter, so a
+	// memo hit is only conclusive for queries with bounds <= Bound.
+	Bound sim.Time `json:"-"`
+}
+
+// Evaluator turns a capture into a reusable makespan oracle: the
+// workload is reconstructed once, every judged knob set replays through
+// the real scheduler, and results are memoized so a search (or a
+// what-if loop) never pays for the same combination twice. It is the
+// single replay path shared by `hmtrace tune`, `hmtrace whatif` and the
+// X15 driver.
+type Evaluator struct {
+	cap    *trace.Capture
+	w      *trace.Workload
+	base   trace.Knobs
+	digest string
+	memo   map[string]*Eval
+
+	replays  int
+	abandons int
+	hits     int
+}
+
+// Digest fingerprints a capture: SHA-256 hex of its canonical encoding.
+// It is the identity artifacts carry, and what `hmtrace summary` checks
+// before attributing an artifact's verdict to a capture.
+func Digest(c *trace.Capture) string {
+	sum := sha256.Sum256(c.Bytes())
+	return hex.EncodeToString(sum[:])
+}
+
+// NewEvaluator reconstructs the capture's workload and fingerprints the
+// capture so artifacts can name the exact input they were computed from.
+func NewEvaluator(c *trace.Capture) (*Evaluator, error) {
+	w, err := trace.Reconstruct(c)
+	if err != nil {
+		return nil, err
+	}
+	return &Evaluator{
+		cap:    c,
+		w:      w,
+		base:   w.Meta.Knobs,
+		digest: Digest(c),
+		memo:   make(map[string]*Eval),
+	}, nil
+}
+
+// Base returns the capture's recorded knob set — the template judged
+// combinations are derived from (fields outside the search space keep
+// their recorded values).
+func (e *Evaluator) Base() trace.Knobs { return e.base }
+
+// Digest returns the capture fingerprint (SHA-256 hex).
+func (e *Evaluator) Digest() string { return e.digest }
+
+// Workload returns the reconstructed workload.
+func (e *Evaluator) Workload() *trace.Workload { return e.w }
+
+// RecordedMakespan returns the makespan of the original run from the
+// capture's stats footer, or 0 for a truncated capture without one.
+func (e *Evaluator) RecordedMakespan() sim.Time {
+	if st := e.cap.Stats(); st != nil {
+		return st.Makespan
+	}
+	return 0
+}
+
+// Stats reports how many replays ran, how many of those were abandoned
+// early, and how many queries the memo answered without replaying.
+func (e *Evaluator) Stats() (replays, abandons, memoHits int) {
+	return e.replays, e.abandons, e.hits
+}
+
+// key canonicalises a knob set for memoization. Knobs is a flat struct,
+// so its JSON image (declaration-order fields) is a stable identity.
+func key(k trace.Knobs) string {
+	b, err := json.Marshal(k)
+	if err != nil {
+		panic(fmt.Sprintf("tune: marshal knobs: %v", err))
+	}
+	return string(b)
+}
+
+// Eval judges one knob combination. bound > 0 enables early abandon:
+// the replay stops as soon as its makespan provably cannot beat the
+// bound (trace.ReplayConfig.AbandonAbove). cached reports a memo hit.
+//
+// Memo semantics under abandonment: a completed Eval answers any query;
+// an abandoned one proves only Makespan >= its Bound, so it satisfies a
+// new query only when the new bound is <= the proven one. A search
+// whose incumbent only improves always passes shrinking bounds, so its
+// memo hits are always conclusive; a looser query re-replays and the
+// stored entry is upgraded.
+func (e *Evaluator) Eval(k trace.Knobs, bound sim.Time) (Eval, bool, error) {
+	id := key(k)
+	if v, ok := e.memo[id]; ok {
+		if !v.Abandoned || (bound > 0 && bound <= v.Bound) {
+			e.hits++
+			return *v, true, nil
+		}
+	}
+	if _, err := e.Replay(k, bound); err != nil {
+		return Eval{}, false, err
+	}
+	return *e.memo[id], false, nil
+}
+
+// Replay judges k like Eval but returns the full replay result, capture
+// included — what `hmtrace whatif` renders its comparison table from.
+// The verdict still lands in the memo (so a following search benefits),
+// but a memo hit cannot reproduce a capture, so Replay always re-drives
+// the workload.
+func (e *Evaluator) Replay(k trace.Knobs, bound sim.Time) (*trace.ReplayResult, error) {
+	res, err := e.w.Replay(trace.ReplayConfig{Knobs: &k, AbandonAbove: bound})
+	if err != nil {
+		return nil, err
+	}
+	e.replays++
+	if res.Abandoned {
+		e.abandons++
+	}
+	e.memo[key(k)] = &Eval{Knobs: k, Makespan: res.Makespan, Abandoned: res.Abandoned, Bound: bound}
+	return res, nil
+}
